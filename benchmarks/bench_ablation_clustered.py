@@ -1,0 +1,81 @@
+"""Ablation: exact LEMP vs the clustered approximate Row-Top-k extension.
+
+The paper's related-work section (reference [17]) notes that clustering the
+query vectors and retrieving only for centroids "can directly be applied in
+combination with LEMP".  This ablation quantifies the trade-off the extension
+offers on the Netflix-like dataset: retrieval work and wall-clock time go
+down, recall against the exact answer stays high and grows with the candidate
+pool expansion factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NaiveRetriever
+from repro.eval import format_table, make_retriever, run_row_top_k
+from repro.extensions import ClusteredTopK
+
+from benchmarks.conftest import BENCH_SEED, write_report
+
+DATASET = "netflix"
+K = 10
+EXPANSIONS = (2, 8)
+
+
+@pytest.mark.parametrize("expansion", EXPANSIONS)
+def test_clustered_topk(benchmark, expansion, dataset_cache):
+    """Time the clustered extension for one expansion factor."""
+    dataset = dataset_cache(DATASET)
+    approximate = ClusteredTopK(num_clusters=50, expansion=expansion, seed=BENCH_SEED)
+    approximate.fit(dataset.probes)
+    benchmark.extra_info["expansion"] = expansion
+    result = benchmark.pedantic(
+        lambda: approximate.row_top_k(dataset.queries, K), rounds=1, iterations=1
+    )
+    exact = NaiveRetriever().fit(dataset.probes).row_top_k(dataset.queries, K)
+    benchmark.extra_info["recall"] = round(approximate.recall_against(exact, result), 3)
+
+
+def test_exact_reference(benchmark, dataset_cache):
+    """Exact LEMP-LI reference the extension is compared against."""
+    dataset = dataset_cache(DATASET)
+    retriever = make_retriever("LEMP-LI", seed=BENCH_SEED).fit(dataset.probes)
+    benchmark.pedantic(lambda: run_row_top_k(retriever, dataset, K), rounds=1, iterations=1)
+
+
+def test_clustered_report(benchmark, dataset_cache):
+    """Regenerate the exact-vs-clustered comparison into results/ablation_clustered.txt."""
+
+    def run_all():
+        dataset = dataset_cache(DATASET)
+        exact = NaiveRetriever().fit(dataset.probes).row_top_k(dataset.queries, K)
+        rows = []
+
+        lemp_outcome = run_row_top_k(make_retriever("LEMP-LI", seed=BENCH_SEED), dataset, K)
+        rows.append(["LEMP-LI (exact)", "-", f"{lemp_outcome.total_seconds:.3f}",
+                     f"{lemp_outcome.candidates_per_query:.1f}", "1.000"])
+
+        for expansion in EXPANSIONS:
+            approximate = ClusteredTopK(num_clusters=50, expansion=expansion, seed=BENCH_SEED)
+            approximate.fit(dataset.probes)
+            result = approximate.row_top_k(dataset.queries, K)
+            recall = approximate.recall_against(exact, result)
+            rows.append(
+                [
+                    f"Clustered (x{expansion})",
+                    expansion,
+                    f"{approximate.stats.total_seconds:.3f}",
+                    f"{approximate.stats.candidates_per_query:.1f}",
+                    f"{recall:.3f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(["method", "expansion", "total [s]", "cand/query", "recall"], rows)
+    write_report(
+        "ablation_clustered.txt",
+        "Ablation: exact LEMP vs clustered approximate Row-Top-k (ref. [17])",
+        table,
+    )

@@ -1,0 +1,45 @@
+"""Figure 3: feasible regions of the coordinate bounds for various θ_b(q).
+
+Regenerates the data behind the paper's Figure 3 — the lower and upper bounds
+``[L_f, U_f]`` as a function of the query coordinate ``q̄_f`` for local
+thresholds 0.3, 0.8 and 0.99 — and benchmarks the bound computation itself
+(it runs once per query, bucket, and focus coordinate, so it must be cheap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import feasible_region
+from repro.eval import format_table
+from repro.eval.experiments import figure3_feasible_regions
+
+from benchmarks.conftest import write_report
+
+THETA_VALUES = (0.3, 0.8, 0.99)
+
+
+@pytest.mark.parametrize("theta_b", THETA_VALUES)
+def test_feasible_region_computation(benchmark, theta_b):
+    """Micro-benchmark of the bound computation for a full rank-50 query."""
+    rng = np.random.default_rng(0)
+    query = rng.standard_normal(50)
+    query /= np.linalg.norm(query)
+    benchmark(feasible_region, query, theta_b)
+
+
+def test_figure3_report(benchmark):
+    """Regenerate the Figure 3 series into results/figure3.txt."""
+    rows_data = benchmark.pedantic(
+        lambda: figure3_feasible_regions(theta_values=THETA_VALUES, num_points=21),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [row["theta_b"], round(row["query_coordinate"], 2), round(row["lower"], 3),
+         round(row["upper"], 3), round(row["width"], 3)]
+        for row in rows_data
+    ]
+    table = format_table(["theta_b", "q_f", "L_f", "U_f", "width"], rows)
+    write_report("figure3_feasible_regions.txt", "Figure 3: feasible regions", table)

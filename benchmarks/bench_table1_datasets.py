@@ -1,0 +1,58 @@
+"""Table 1: dataset statistics and the Naive baseline cost.
+
+Regenerates the paper's dataset summary (number of queries/probes, coefficient
+of variation of the vector lengths, fraction of non-zero entries) for the
+synthetic stand-in datasets, and benchmarks the Naive full-product baseline
+whose runtime the paper reports in the last column of Table 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NaiveRetriever
+from repro.datasets import dataset_statistics
+from repro.eval import format_table
+
+from benchmarks.conftest import BENCH_SEED, write_report
+
+DATASETS = ("ie-nmf", "ie-svd", "netflix", "kdd")
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_naive_row_top_1(benchmark, name, dataset_cache):
+    """Naive Row-Top-1 cost per dataset (Table 1, last column)."""
+    dataset = dataset_cache(name)
+    retriever = NaiveRetriever().fit(dataset.probes)
+    benchmark.extra_info["dataset"] = name
+    benchmark.extra_info["num_queries"] = dataset.queries.shape[0]
+    benchmark.extra_info["num_probes"] = dataset.probes.shape[0]
+    benchmark.pedantic(lambda: retriever.row_top_k(dataset.queries, 1), rounds=1, iterations=1)
+
+
+def test_table1_report(benchmark, dataset_cache):
+    """Regenerate the Table 1 statistics and write them to results/table1.txt."""
+
+    def build_rows():
+        rows = []
+        for name in DATASETS:
+            dataset = dataset_cache(name)
+            stats = dataset_statistics(dataset)
+            rows.append(
+                [
+                    stats["name"],
+                    stats["num_queries"],
+                    stats["num_probes"],
+                    stats["rank"],
+                    round(stats["query_length_cov"], 2),
+                    round(stats["probe_length_cov"], 2),
+                    f"{100 * stats['fraction_nonzero']:.1f}%",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "m (queries)", "n (probes)", "r", "CoV Q", "CoV P", "% non-zero"], rows
+    )
+    write_report("table1_datasets.txt", "Table 1: dataset statistics (synthetic stand-ins)", table)

@@ -1,0 +1,55 @@
+"""Table 2: preprocessing (index construction and tuning) times.
+
+Benchmarks the index-construction phase of every method the paper lists in
+Table 2 — LEMP's bucketisation (+ tuning), TA's sorted lists, the single cover
+tree, and the dual-tree's probe tree — on every dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_table, make_retriever
+from repro.eval.experiments import table2_preprocessing
+
+from benchmarks.conftest import BENCH_SEED, write_report
+
+DATASETS = ("ie-svd", "ie-nmf", "netflix", "kdd")
+ALGORITHMS = ("LEMP-LI", "TA", "Tree", "D-Tree")
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_preprocessing(benchmark, dataset_name, algorithm, dataset_cache):
+    """Index-construction time of one method on one dataset."""
+    dataset = dataset_cache(dataset_name)
+    benchmark.extra_info["dataset"] = dataset_name
+    benchmark.extra_info["algorithm"] = algorithm
+
+    def build():
+        retriever = make_retriever(algorithm, seed=BENCH_SEED)
+        retriever.fit(dataset.probes)
+        return retriever
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+
+
+def test_table2_report(benchmark, scale):
+    """Regenerate Table 2 (including LEMP tuning time) into results/table2.txt."""
+    rows_data = benchmark.pedantic(
+        lambda: table2_preprocessing(datasets=DATASETS, algorithms=ALGORITHMS, scale=scale, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            row["dataset"],
+            row["algorithm"],
+            f"{row['preprocessing_seconds']:.4f}",
+            f"{row['tuning_seconds']:.4f}",
+            f"{row['total_seconds']:.4f}",
+        ]
+        for row in rows_data
+    ]
+    table = format_table(["dataset", "algorithm", "indexing [s]", "tuning [s]", "total [s]"], rows)
+    write_report("table2_preprocessing.txt", "Table 2: preprocessing times", table)

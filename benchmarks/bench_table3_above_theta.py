@@ -1,0 +1,81 @@
+"""Table 3 / Figure 5 / Figure 6a: Above-θ — LEMP vs the state-of-the-art baselines.
+
+For the IE-SVD and IE-NMF datasets, θ is chosen so that the result contains a
+target number of product entries ("recall level"), and LEMP-LI is compared
+against Naive, TA, the single cover tree and the dual tree, as in the paper's
+Table 3 and the bar charts of Figures 5 and 6a.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_table, make_retriever, run_above_theta, theta_for_result_count
+from repro.eval.recall import recall_levels_for
+
+from benchmarks.conftest import BENCH_SEED, write_report
+
+DATASETS = ("ie-svd", "ie-nmf")
+ALGORITHMS = ("Naive", "TA", "Tree", "D-Tree", "LEMP-LI")
+RECALL_LEVELS = (1000, 10000)
+
+
+def _theta(dataset, level):
+    levels = recall_levels_for(dataset.queries.shape[0], dataset.probes.shape[0], (level,))
+    return theta_for_result_count(dataset.queries, dataset.probes, levels[0])
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("level", RECALL_LEVELS)
+def test_above_theta(benchmark, dataset_name, algorithm, level, dataset_cache):
+    """Time one method on one dataset at one recall level."""
+    dataset = dataset_cache(dataset_name)
+    theta = _theta(dataset, level)
+    if theta <= 0.0:
+        pytest.skip("recall level too deep for a positive threshold at this scale")
+    retriever = make_retriever(algorithm, seed=BENCH_SEED).fit(dataset.probes)
+    benchmark.extra_info.update({"dataset": dataset_name, "recall_level": level, "theta": theta})
+
+    outcome = benchmark.pedantic(
+        lambda: run_above_theta(retriever, dataset, theta), rounds=1, iterations=1
+    )
+    benchmark.extra_info["candidates_per_query"] = round(outcome.candidates_per_query, 1)
+    benchmark.extra_info["num_results"] = outcome.num_results
+
+
+def test_table3_report(benchmark, dataset_cache):
+    """Regenerate the full Table 3 comparison into results/table3.txt."""
+
+    def run_all():
+        rows = []
+        for dataset_name in DATASETS:
+            dataset = dataset_cache(dataset_name)
+            retrievers = {name: make_retriever(name, seed=BENCH_SEED) for name in ALGORITHMS}
+            for level in RECALL_LEVELS:
+                theta = _theta(dataset, level)
+                if theta <= 0.0:
+                    continue
+                for name in ALGORITHMS:
+                    outcome = run_above_theta(retrievers[name], dataset, theta)
+                    rows.append(
+                        [
+                            dataset_name,
+                            f"@{level}",
+                            name,
+                            f"{outcome.total_seconds:.3f}",
+                            f"{outcome.candidates_per_query:.1f}",
+                            outcome.num_results,
+                        ]
+                    )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "recall", "algorithm", "total [s]", "cand/query", "results"], rows
+    )
+    write_report(
+        "table3_above_theta.txt",
+        "Table 3 / Figures 5, 6a: Above-theta, LEMP vs baselines",
+        table,
+    )

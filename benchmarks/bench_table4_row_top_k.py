@@ -1,0 +1,65 @@
+"""Table 4 / Figure 6b: Row-Top-k — LEMP vs the state-of-the-art baselines.
+
+Compares LEMP-LI against Naive, TA, Tree and D-Tree for the Row-Top-k problem
+on the transposed IE datasets and the recommender datasets, for several values
+of k, as in the paper's Table 4 and Figure 6b.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_table, make_retriever, run_row_top_k
+
+from benchmarks.conftest import BENCH_SEED, write_report
+
+DATASETS = ("ie-svd-t", "ie-nmf-t", "netflix", "kdd")
+ALGORITHMS = ("Naive", "TA", "Tree", "D-Tree", "LEMP-LI")
+K_VALUES = (1, 10)
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_row_top_k(benchmark, dataset_name, algorithm, k, dataset_cache):
+    """Time one method on one dataset for one k."""
+    dataset = dataset_cache(dataset_name)
+    retriever = make_retriever(algorithm, seed=BENCH_SEED).fit(dataset.probes)
+    benchmark.extra_info.update({"dataset": dataset_name, "k": k})
+
+    outcome = benchmark.pedantic(
+        lambda: run_row_top_k(retriever, dataset, k), rounds=1, iterations=1
+    )
+    benchmark.extra_info["candidates_per_query"] = round(outcome.candidates_per_query, 1)
+
+
+def test_table4_report(benchmark, dataset_cache):
+    """Regenerate the full Table 4 comparison into results/table4.txt."""
+
+    def run_all():
+        rows = []
+        for dataset_name in DATASETS:
+            dataset = dataset_cache(dataset_name)
+            retrievers = {name: make_retriever(name, seed=BENCH_SEED) for name in ALGORITHMS}
+            for k in K_VALUES:
+                for name in ALGORITHMS:
+                    outcome = run_row_top_k(retrievers[name], dataset, k)
+                    rows.append(
+                        [
+                            dataset_name,
+                            k,
+                            name,
+                            f"{outcome.total_seconds:.3f}",
+                            f"{outcome.preprocessing_seconds:.3f}",
+                            f"{outcome.candidates_per_query:.1f}",
+                        ]
+                    )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "k", "algorithm", "total [s]", "preproc [s]", "cand/query"], rows
+    )
+    write_report(
+        "table4_row_top_k.txt", "Table 4 / Figure 6b: Row-Top-k, LEMP vs baselines", table
+    )

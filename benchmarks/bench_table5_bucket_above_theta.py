@@ -1,0 +1,75 @@
+"""Table 5 / Figure 7a-b: LEMP bucket algorithms for the Above-θ problem.
+
+Compares the pure bucket algorithms (LENGTH, COORD, INCR, TA, Tree, L2AP,
+BayesLSH-Lite) and the tuned mixes (LC, LI) on the IE datasets at several
+recall levels, as in the paper's Table 5 and Figure 7a-b.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_table, make_retriever, run_above_theta, theta_for_result_count
+from repro.eval.experiments import BUCKET_COMPARISON
+from repro.eval.recall import recall_levels_for
+
+from benchmarks.conftest import BENCH_SEED, write_report
+
+DATASETS = ("ie-svd", "ie-nmf")
+RECALL_LEVELS = (1000, 10000)
+
+
+def _theta(dataset, level):
+    levels = recall_levels_for(dataset.queries.shape[0], dataset.probes.shape[0], (level,))
+    return theta_for_result_count(dataset.queries, dataset.probes, levels[0])
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("algorithm", BUCKET_COMPARISON)
+def test_bucket_above_theta(benchmark, dataset_name, algorithm, dataset_cache):
+    """Time one bucket algorithm on one dataset at the @1K recall level."""
+    dataset = dataset_cache(dataset_name)
+    theta = _theta(dataset, RECALL_LEVELS[0])
+    if theta <= 0.0:
+        pytest.skip("recall level too deep for a positive threshold at this scale")
+    retriever = make_retriever(algorithm, seed=BENCH_SEED).fit(dataset.probes)
+    benchmark.extra_info.update({"dataset": dataset_name, "theta": theta})
+
+    outcome = benchmark.pedantic(
+        lambda: run_above_theta(retriever, dataset, theta), rounds=1, iterations=1
+    )
+    benchmark.extra_info["candidates_per_query"] = round(outcome.candidates_per_query, 1)
+
+
+def test_table5_report(benchmark, dataset_cache):
+    """Regenerate the full Table 5 comparison into results/table5.txt."""
+
+    def run_all():
+        rows = []
+        for dataset_name in DATASETS:
+            dataset = dataset_cache(dataset_name)
+            retrievers = {name: make_retriever(name, seed=BENCH_SEED) for name in BUCKET_COMPARISON}
+            for level in RECALL_LEVELS:
+                theta = _theta(dataset, level)
+                if theta <= 0.0:
+                    continue
+                for name in BUCKET_COMPARISON:
+                    outcome = run_above_theta(retrievers[name], dataset, theta)
+                    rows.append(
+                        [
+                            dataset_name,
+                            f"@{level}",
+                            name,
+                            f"{outcome.total_seconds:.3f}",
+                            f"{outcome.candidates_per_query:.1f}",
+                        ]
+                    )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(["dataset", "recall", "algorithm", "total [s]", "cand/query"], rows)
+    write_report(
+        "table5_bucket_above_theta.txt",
+        "Table 5 / Figure 7a-b: bucket algorithms, Above-theta",
+        table,
+    )

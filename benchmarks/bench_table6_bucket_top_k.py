@@ -1,0 +1,62 @@
+"""Table 6 / Figure 7c-f: LEMP bucket algorithms for the Row-Top-k problem.
+
+Compares every bucket algorithm on the transposed IE datasets and the
+recommender datasets, as in the paper's Table 6 and Figure 7c-f.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_table, make_retriever, run_row_top_k
+from repro.eval.experiments import BUCKET_COMPARISON
+
+from benchmarks.conftest import BENCH_SEED, write_report
+
+DATASETS = ("ie-svd-t", "ie-nmf-t", "netflix", "kdd")
+K_VALUES = (1, 10)
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("algorithm", BUCKET_COMPARISON)
+def test_bucket_row_top_k(benchmark, dataset_name, algorithm, dataset_cache):
+    """Time one bucket algorithm on one dataset for k = 10."""
+    dataset = dataset_cache(dataset_name)
+    retriever = make_retriever(algorithm, seed=BENCH_SEED).fit(dataset.probes)
+    benchmark.extra_info["dataset"] = dataset_name
+
+    outcome = benchmark.pedantic(
+        lambda: run_row_top_k(retriever, dataset, 10), rounds=1, iterations=1
+    )
+    benchmark.extra_info["candidates_per_query"] = round(outcome.candidates_per_query, 1)
+
+
+def test_table6_report(benchmark, dataset_cache):
+    """Regenerate the full Table 6 comparison into results/table6.txt."""
+
+    def run_all():
+        rows = []
+        for dataset_name in DATASETS:
+            dataset = dataset_cache(dataset_name)
+            retrievers = {name: make_retriever(name, seed=BENCH_SEED) for name in BUCKET_COMPARISON}
+            for k in K_VALUES:
+                for name in BUCKET_COMPARISON:
+                    outcome = run_row_top_k(retrievers[name], dataset, k)
+                    rows.append(
+                        [
+                            dataset_name,
+                            k,
+                            name,
+                            f"{outcome.total_seconds:.3f}",
+                            f"{outcome.candidates_per_query:.1f}",
+                        ]
+                    )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(["dataset", "k", "algorithm", "total [s]", "cand/query"], rows)
+    write_report(
+        "table6_bucket_top_k.txt",
+        "Table 6 / Figure 7c-f: bucket algorithms, Row-Top-k",
+        table,
+    )

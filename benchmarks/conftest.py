@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+The benchmarks regenerate every table and figure of the paper's evaluation at
+a reduced, configurable scale.  Set the environment variable
+``REPRO_BENCH_SCALE`` to ``tiny`` (default), ``small`` or ``medium`` to trade
+runtime for fidelity.  Every report benchmark also writes its paper-style
+table to ``benchmarks/results/`` so the numbers survive pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import load_dataset
+
+#: Directory where the paper-style tables are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Random seed used by every benchmark for reproducibility.
+BENCH_SEED = 0
+
+
+def bench_scale() -> str:
+    """Dataset scale for the benchmark run (``REPRO_BENCH_SCALE``, default tiny)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def dataset_cache():
+    """Session-wide cache of loaded datasets keyed by (name, scale)."""
+    cache = {}
+
+    def load(name: str, scale_name: str | None = None):
+        key = (name, scale_name or bench_scale())
+        if key not in cache:
+            cache[key] = load_dataset(name, scale=key[1], seed=BENCH_SEED)
+        return cache[key]
+
+    return load
+
+
+def write_report(filename: str, title: str, text: str) -> str:
+    """Write a paper-style table to ``benchmarks/results`` and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / filename
+    content = f"{title}\n{'=' * len(title)}\n{text}\n"
+    path.write_text(content)
+    print("\n" + content)
+    return str(path)

@@ -1,0 +1,53 @@
+"""Open information extraction scenario: high-confidence fact retrieval.
+
+Following the paper's second motivating application (Riedel et al.), a binary
+argument-pattern matrix is factorised and the *large entries* of the
+reconstructed matrix are interpreted as high-confidence facts.  The script
+
+1. generates a synthetic argument-pattern co-occurrence matrix with Zipf
+   popularity skew,
+2. factorises it with truncated SVD (IE-SVD) and with NMF (IE-NMF),
+3. retrieves all entries above a confidence threshold with LEMP-LI,
+4. compares pruning behaviour on the two factorisations.
+
+Run with:  python examples/openie_above_theta.py
+"""
+
+from __future__ import annotations
+
+from repro import Lemp
+from repro.baselines import NaiveRetriever
+from repro.datasets import generate_fact_matrix
+from repro.eval import theta_for_result_count
+from repro.mf import nmf_factorize, truncated_svd_factorize
+
+
+def retrieve(name: str, queries, probes) -> None:
+    theta = theta_for_result_count(queries, probes, 2000)
+    lemp = Lemp(algorithm="LI", seed=0).fit(probes)
+    result = lemp.above_theta(queries, theta)
+    reference = NaiveRetriever().fit(probes).above_theta(queries, theta)
+    print(f"{name}: θ = {theta:.4f}")
+    print(f"  high-confidence facts  : {result.num_results}")
+    print(f"  buckets / cand. per q  : {lemp.num_buckets} / "
+          f"{lemp.stats.candidates_per_query:.1f} (of {probes.shape[0]})")
+    print(f"  exact (vs naive)       : {result.to_set() == reference.to_set()}")
+
+
+def main() -> None:
+    num_arguments, num_patterns, rank = 1500, 400, 40
+    facts = generate_fact_matrix(num_arguments, num_patterns, density=0.02, seed=3)
+    print(f"Fact matrix: {num_arguments} argument pairs x {num_patterns} patterns, "
+          f"{int(facts.sum())} observed facts\n")
+
+    # IE-SVD: factors U·sqrt(Σ) and V·sqrt(Σ) of the truncated SVD.
+    svd_queries, svd_probes = truncated_svd_factorize(facts, rank=rank)
+    retrieve("IE-SVD", svd_queries, svd_probes)
+
+    # IE-NMF: non-negative factors, sparser and with heavier length skew.
+    w, h, _ = nmf_factorize(facts, rank=rank, num_iterations=80, seed=0)
+    retrieve("\nIE-NMF", w, h.T)
+
+
+if __name__ == "__main__":
+    main()

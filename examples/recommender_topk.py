@@ -1,0 +1,60 @@
+"""Recommender-system scenario: top-k item retrieval from an ALS factorisation.
+
+This mirrors the paper's motivating use case (Section 1): a latent-factor
+model is trained on a rating matrix, and recommendations are the largest
+entries of the user-by-item product matrix.  The script
+
+1. generates a synthetic rating matrix with item-popularity skew,
+2. factorises it with the ALS substrate,
+3. retrieves the top-10 items per user with LEMP and with the naive approach,
+4. reports agreement and pruning statistics.
+
+Run with:  python examples/recommender_topk.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Lemp
+from repro.baselines import NaiveRetriever
+from repro.datasets import generate_ratings
+from repro.mf import als_factorize
+
+
+def main() -> None:
+    num_users, num_items, rank = 1200, 350, 32
+    rows, cols, stars = generate_ratings(
+        num_users, num_items, num_ratings=60_000, rank=8, seed=11
+    )
+    print(f"Synthetic ratings: {stars.size} observations, "
+          f"{num_users} users x {num_items} items")
+
+    user_factors, item_factors, losses = als_factorize(
+        rows, cols, stars, num_users, num_items, rank=rank, num_iterations=8,
+        regularization=0.05, seed=0,
+    )
+    print(f"ALS training loss: {losses[0]:.1f} -> {losses[-1]:.1f}")
+
+    # Recommend with LEMP (queries = users, probes = items).
+    lemp = Lemp(algorithm="LI", seed=0).fit(item_factors)
+    recommendations = lemp.row_top_k(user_factors, k=10)
+    print(f"LEMP buckets: {lemp.num_buckets}, "
+          f"candidates/query: {lemp.stats.candidates_per_query:.1f} "
+          f"of {num_items} items")
+
+    naive = NaiveRetriever().fit(item_factors)
+    reference = naive.row_top_k(user_factors, k=10)
+    agreement = np.isclose(recommendations.scores, reference.scores, atol=1e-8).mean()
+    print(f"Score agreement with the naive full product: {agreement:.1%}")
+
+    print("\nTop-5 items for the first three users:")
+    for user_id in range(3):
+        items = ", ".join(
+            f"{item_id} ({score:.2f})" for item_id, score in recommendations.row(user_id)[:5]
+        )
+        print(f"  user {user_id}: {items}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Reproduction of "LEMP: Fast Retrieval of Large Entries in a Matrix Product".
+
+The package provides:
+
+* :class:`repro.Lemp` — the LEMP retriever (Above-θ and Row-Top-k problems)
+  with all bucket algorithms of the paper (LENGTH, COORD, INCR, TA, Tree,
+  L2AP, BayesLSH-Lite, and the tuned LC / LI mixes);
+* the baselines the paper compares against (``repro.baselines``);
+* the cosine-similarity-search substrate (``repro.similarity``);
+* a matrix-factorisation substrate and synthetic dataset generators matching
+  the paper's dataset statistics (``repro.mf``, ``repro.datasets``);
+* an evaluation harness that regenerates every table and figure of the paper
+  (``repro.eval`` and the top-level ``benchmarks/`` directory).
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import Lemp
+>>> rng = np.random.default_rng(0)
+>>> queries = rng.standard_normal((100, 16))
+>>> probes = rng.standard_normal((500, 16))
+>>> retriever = Lemp(algorithm="LI").fit(probes)
+>>> top = retriever.row_top_k(queries, k=5)
+>>> top.indices.shape
+(100, 5)
+"""
+
+from repro.core import (
+    ALGORITHMS,
+    AboveThetaResult,
+    Lemp,
+    Retriever,
+    RunStats,
+    TopKResult,
+    VectorStore,
+)
+from repro.exceptions import (
+    DimensionMismatchError,
+    InvalidParameterError,
+    NotPreparedError,
+    ReproError,
+    UnknownAlgorithmError,
+    UnknownDatasetError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "AboveThetaResult",
+    "DimensionMismatchError",
+    "InvalidParameterError",
+    "Lemp",
+    "NotPreparedError",
+    "ReproError",
+    "Retriever",
+    "RunStats",
+    "TopKResult",
+    "UnknownAlgorithmError",
+    "UnknownDatasetError",
+    "VectorStore",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Baseline algorithms for the large-entry retrieval problem.
+
+These are the methods the paper's evaluation compares LEMP against:
+
+* :class:`~repro.baselines.naive.NaiveRetriever` — full product computation;
+* :class:`~repro.baselines.ta.TARetriever` — Fagin et al.'s threshold algorithm
+  with max-heap list selection, adapted to inner products;
+* :class:`~repro.baselines.tree_search.SingleTreeRetriever` — exact MIPS over a
+  cover tree (Curtin et al. [10]) or metric/ball tree (Ram & Gray [11]);
+* :class:`~repro.baselines.dual_tree.DualTreeRetriever` — dual-tree exact MIPS
+  (Curtin & Ram [13]).
+"""
+
+from repro.baselines.ball_tree import BallTree
+from repro.baselines.cover_tree import CoverTree
+from repro.baselines.dual_tree import DualTreeRetriever
+from repro.baselines.naive import NaiveRetriever
+from repro.baselines.ta import TARetriever
+from repro.baselines.tree_search import SingleTreeRetriever, TreeSearcher
+
+__all__ = [
+    "BallTree",
+    "CoverTree",
+    "DualTreeRetriever",
+    "NaiveRetriever",
+    "SingleTreeRetriever",
+    "TARetriever",
+    "TreeSearcher",
+]

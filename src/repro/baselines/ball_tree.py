@@ -1,0 +1,80 @@
+"""Metric (ball) tree over a point set, after Ram & Gray's metric-tree MIPS [11].
+
+The tree is built top-down: each node picks two far-apart pivot points, splits
+its points by which pivot is closer, and recurses.  Each node stores the mean
+of its points as the center and the maximum distance to the center as the
+radius, which is exactly what the MIPS pruning bound needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.tree_node import TreeNode
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import as_float_matrix
+
+
+class BallTree:
+    """Binary metric tree with mean centers and distance radii.
+
+    Parameters
+    ----------
+    points:
+        ``(num_points, rank)`` array; rows are points.
+    leaf_size:
+        Nodes with at most this many points become leaves.
+    seed:
+        Seed for the random pivot selection (splits are otherwise deterministic).
+    """
+
+    def __init__(self, points, leaf_size: int = 20, seed=None) -> None:
+        self.points = as_float_matrix(points, "points")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.leaf_size = leaf_size
+        self._rng = ensure_rng(seed)
+        all_indices = np.arange(self.points.shape[0], dtype=np.intp)
+        self.root = self._build(all_indices)
+
+    # ------------------------------------------------------------------ build
+
+    def _make_node(self, indices: np.ndarray, children: list | None) -> TreeNode:
+        subset = self.points[indices]
+        center = subset.mean(axis=0)
+        radius = float(np.max(np.linalg.norm(subset - center, axis=1))) if indices.size else 0.0
+        if children is None:
+            return TreeNode(center, radius, indices, None)
+        return TreeNode(center, radius, None, children)
+
+    def _build(self, indices: np.ndarray) -> TreeNode:
+        if indices.size <= self.leaf_size:
+            return self._make_node(indices, None)
+        subset = self.points[indices]
+        # Pick two far-apart pivots: start from a random point, take the point
+        # farthest from it, then the point farthest from that one.
+        start = subset[self._rng.integers(indices.size)]
+        distance_to_start = np.linalg.norm(subset - start, axis=1)
+        pivot_a = subset[int(np.argmax(distance_to_start))]
+        distance_to_a = np.linalg.norm(subset - pivot_a, axis=1)
+        pivot_b = subset[int(np.argmax(distance_to_a))]
+        distance_to_b = np.linalg.norm(subset - pivot_b, axis=1)
+        closer_to_a = distance_to_a <= distance_to_b
+        # Degenerate split (all points identical): fall back to an even split
+        # so construction always terminates.
+        if closer_to_a.all() or not closer_to_a.any():
+            half = indices.size // 2
+            left, right = indices[:half], indices[half:]
+        else:
+            left, right = indices[closer_to_a], indices[~closer_to_a]
+        children = [self._build(left), self._build(right)]
+        return self._make_node(indices, children)
+
+    # ------------------------------------------------------------------ stats
+
+    def num_nodes(self) -> int:
+        """Number of nodes in the tree."""
+        return self.root.num_nodes()
+
+    def __len__(self) -> int:
+        return self.points.shape[0]

@@ -1,0 +1,91 @@
+"""Naive baseline: compute the full product and select the large entries.
+
+This is the paper's "Naive" method (Section 2).  The product is computed in
+row blocks so the memory footprint stays bounded even for larger synthetic
+instances; every probe counts as a candidate for every query, which is the
+reference point for all pruning-power comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import Retriever
+from repro.core.results import AboveThetaResult, TopKResult
+from repro.utils.timer import Timer
+from repro.utils.validation import as_float_matrix, check_rank_match, require_positive_int
+
+
+class NaiveRetriever(Retriever):
+    """Full-product retrieval with blocked matrix multiplication."""
+
+    name = "Naive"
+
+    def __init__(self, block_size: int = 1024) -> None:
+        super().__init__()
+        require_positive_int(block_size, "block_size")
+        self.block_size = block_size
+        self._probes: np.ndarray | None = None
+
+    def fit(self, probes) -> "NaiveRetriever":
+        self._probes = as_float_matrix(probes, "probes")
+        self._fitted = True
+        return self
+
+    def _blocks(self, queries: np.ndarray):
+        for start in range(0, queries.shape[0], self.block_size):
+            end = min(start + self.block_size, queries.shape[0])
+            yield start, queries[start:end] @ self._probes.T
+
+    def above_theta(self, queries, theta: float) -> AboveThetaResult:
+        self._require_fitted()
+        queries = as_float_matrix(queries, "queries")
+        check_rank_match(queries, self._probes)
+        query_ids: list[np.ndarray] = []
+        probe_ids: list[np.ndarray] = []
+        scores: list[np.ndarray] = []
+        with Timer() as timer:
+            for start, block in self._blocks(queries):
+                rows, cols = np.nonzero(block >= theta)
+                if rows.size:
+                    query_ids.append(rows + start)
+                    probe_ids.append(cols)
+                    scores.append(block[rows, cols])
+        self.stats.retrieval_seconds += timer.elapsed
+        self.stats.num_queries += queries.shape[0]
+        self.stats.candidates += queries.shape[0] * self._probes.shape[0]
+        self.stats.inner_products += queries.shape[0] * self._probes.shape[0]
+        if query_ids:
+            result = AboveThetaResult(
+                np.concatenate(query_ids), np.concatenate(probe_ids), np.concatenate(scores), theta
+            )
+        else:
+            result = AboveThetaResult(np.empty(0), np.empty(0), np.empty(0), theta)
+        self.stats.results += result.num_results
+        return result
+
+    def row_top_k(self, queries, k: int) -> TopKResult:
+        self._require_fitted()
+        queries = as_float_matrix(queries, "queries")
+        check_rank_match(queries, self._probes)
+        require_positive_int(k, "k")
+        num_probes = self._probes.shape[0]
+        effective_k = min(k, num_probes)
+        num_queries = queries.shape[0]
+        indices = np.full((num_queries, k), -1, dtype=np.int64)
+        scores = np.full((num_queries, k), -np.inf)
+        with Timer() as timer:
+            for start, block in self._blocks(queries):
+                top = np.argpartition(-block, effective_k - 1, axis=1)[:, :effective_k]
+                top_scores = np.take_along_axis(block, top, axis=1)
+                order = np.argsort(-top_scores, axis=1, kind="stable")
+                top = np.take_along_axis(top, order, axis=1)
+                top_scores = np.take_along_axis(top_scores, order, axis=1)
+                indices[start:start + block.shape[0], :effective_k] = top
+                scores[start:start + block.shape[0], :effective_k] = top_scores
+        self.stats.retrieval_seconds += timer.elapsed
+        self.stats.num_queries += num_queries
+        self.stats.candidates += num_queries * num_probes
+        self.stats.inner_products += num_queries * num_probes
+        self.stats.results += int(np.sum(indices >= 0))
+        return TopKResult(indices, scores, k)

@@ -1,0 +1,329 @@
+"""Threshold Algorithm (TA) baseline for large-entry retrieval.
+
+Fagin et al.'s TA [4] keeps one list per coordinate, sorted by that
+coordinate's value.  For an inner-product scoring function the lists of
+coordinates where the query is positive are traversed from the largest values
+downwards and those where it is negative from the smallest values upwards; the
+sum of ``q_f`` times the current list frontiers is an upper bound on the score
+of any unseen probe, so traversal can stop as soon as that bound drops below
+the threshold (Above-θ) or the current k-th best score (Row-Top-k).
+
+Two traversal strategies are provided:
+
+* ``"heap"`` — the paper's strategy: repeatedly advance the single most
+  promising list (the one whose next contribution ``q_f · p_f`` is largest),
+  selected with a max-heap.  Faithful but slow in pure Python.
+* ``"blocked"`` — advance every active list by a small block per round and
+  evaluate the newly seen probes in a vectorised batch.  The stopping bound is
+  identical, so the result is still exact; only the visiting order differs.
+  This is the default used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.api import Retriever
+from repro.core.results import AboveThetaResult, TopKResult
+from repro.utils.timer import Timer
+from repro.utils.validation import as_float_matrix, check_rank_match, require_positive_int
+
+
+class TASortedLists:
+    """Per-coordinate sorted lists over the raw (unnormalised) probe matrix."""
+
+    def __init__(self, probes: np.ndarray) -> None:
+        self.size, self.rank = probes.shape
+        order = np.argsort(probes, axis=0, kind="stable")
+        self.ids = np.ascontiguousarray(order.T)          # ascending by value
+        self.values = np.ascontiguousarray(np.take_along_axis(probes, order, axis=0).T)
+
+
+class TARetriever(Retriever):
+    """Threshold-algorithm retriever over the full probe matrix."""
+
+    name = "TA"
+
+    def __init__(self, strategy: str = "blocked", block_size: int = 64) -> None:
+        super().__init__()
+        if strategy not in {"heap", "blocked"}:
+            raise ValueError(f"strategy must be 'heap' or 'blocked', got {strategy!r}")
+        require_positive_int(block_size, "block_size")
+        self.strategy = strategy
+        self.block_size = block_size
+        self._probes: np.ndarray | None = None
+        self._lists: TASortedLists | None = None
+
+    def fit(self, probes) -> "TARetriever":
+        self._probes = as_float_matrix(probes, "probes")
+        with Timer() as timer:
+            self._lists = TASortedLists(self._probes)
+        self.stats.preprocessing_seconds += timer.elapsed
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------ traversal
+
+    def _scan(self, query: np.ndarray, stop_threshold) -> tuple[np.ndarray, np.ndarray, int]:
+        """Traverse the lists for one query until the TA bound drops below the threshold.
+
+        ``stop_threshold`` is a callable returning the current stopping value
+        (constant θ for Above-θ, the running k-th best for Row-Top-k).  Returns
+        the seen probe ids, their exact scores, and the number evaluated.
+        """
+        if self.strategy == "heap":
+            return self._scan_heap(query, stop_threshold)
+        return self._scan_blocked(query, stop_threshold)
+
+    def _active_lists(self, query: np.ndarray) -> np.ndarray:
+        return np.nonzero(query != 0.0)[0]
+
+    def _frontier_value(self, coordinate: int, position: int, descending: bool) -> float:
+        values = self._lists.values[coordinate]
+        index = self._lists.size - 1 - position if descending else position
+        return float(values[index])
+
+    def _frontier_id(self, coordinate: int, position: int, descending: bool) -> int:
+        ids = self._lists.ids[coordinate]
+        index = self._lists.size - 1 - position if descending else position
+        return int(ids[index])
+
+    def _scan_heap(self, query, stop_threshold):
+        lists = self._lists
+        active = self._active_lists(query)
+        if active.size == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0), 0
+        descending = query > 0.0
+        positions = {int(f): 0 for f in active}
+        contributions = {
+            int(f): query[f] * self._frontier_value(int(f), 0, bool(descending[f])) for f in active
+        }
+        bound = sum(contributions.values())
+        heap = [(-contributions[int(f)], int(f)) for f in active]
+        heapq.heapify(heap)
+        seen: dict[int, float] = {}
+        evaluated = 0
+        size = lists.size
+        while heap:
+            if bound < stop_threshold() and len(seen) > 0:
+                break
+            negative_contribution, coordinate = heapq.heappop(heap)
+            position = positions[coordinate]
+            if position >= size:
+                continue
+            probe_id = self._frontier_id(coordinate, position, bool(descending[coordinate]))
+            if probe_id not in seen:
+                score = float(self._probes[probe_id] @ query)
+                seen[probe_id] = score
+                evaluated += 1
+            positions[coordinate] = position + 1
+            old_contribution = contributions[coordinate]
+            if position + 1 < size:
+                new_contribution = query[coordinate] * self._frontier_value(
+                    coordinate, position + 1, bool(descending[coordinate])
+                )
+                contributions[coordinate] = new_contribution
+                bound += new_contribution - old_contribution
+                heapq.heappush(heap, (-new_contribution, coordinate))
+            else:
+                bound -= old_contribution
+                contributions[coordinate] = 0.0
+        ids = np.fromiter(seen.keys(), dtype=np.intp, count=len(seen))
+        scores = np.fromiter(seen.values(), dtype=np.float64, count=len(seen))
+        return ids, scores, evaluated
+
+    def _scan_blocked(self, query, stop_threshold):
+        lists = self._lists
+        active = self._active_lists(query)
+        if active.size == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0), 0
+        size = lists.size
+        seen_mask = np.zeros(size, dtype=bool)
+        scores = np.zeros(size)
+        evaluated = 0
+        position = 0
+        while position < size:
+            block_end = min(position + self.block_size, size)
+            new_ids: list[np.ndarray] = []
+            for coordinate in active:
+                if query[coordinate] > 0.0:
+                    chunk = lists.ids[coordinate, size - block_end:size - position]
+                else:
+                    chunk = lists.ids[coordinate, position:block_end]
+                new_ids.append(chunk)
+            candidates = np.unique(np.concatenate(new_ids))
+            fresh = candidates[~seen_mask[candidates]]
+            if fresh.size:
+                scores[fresh] = self._probes[fresh] @ query
+                seen_mask[fresh] = True
+                evaluated += fresh.size
+            position = block_end
+            # TA stopping bound from the new frontiers.
+            bound = 0.0
+            for coordinate in active:
+                frontier = self._frontier_value(int(coordinate), position - 1, query[coordinate] > 0.0)
+                bound += query[coordinate] * frontier
+            if position < size and bound < stop_threshold():
+                break
+        ids = np.nonzero(seen_mask)[0]
+        return ids, scores[ids], evaluated
+
+    # ------------------------------------------------------------- problems
+
+    def above_theta(self, queries, theta: float) -> AboveThetaResult:
+        self._require_fitted()
+        queries = as_float_matrix(queries, "queries")
+        check_rank_match(queries, self._probes)
+        query_ids: list[np.ndarray] = []
+        probe_ids: list[np.ndarray] = []
+        out_scores: list[np.ndarray] = []
+        with Timer() as timer:
+            for query_id, query in enumerate(queries):
+                ids, scores, evaluated = self._scan(query, lambda: theta)
+                self.stats.candidates += evaluated
+                self.stats.inner_products += evaluated
+                mask = scores >= theta
+                if mask.any():
+                    query_ids.append(np.full(int(mask.sum()), query_id, dtype=np.int64))
+                    probe_ids.append(ids[mask].astype(np.int64))
+                    out_scores.append(scores[mask])
+        self.stats.retrieval_seconds += timer.elapsed
+        self.stats.num_queries += queries.shape[0]
+        if query_ids:
+            result = AboveThetaResult(
+                np.concatenate(query_ids), np.concatenate(probe_ids), np.concatenate(out_scores), theta
+            )
+        else:
+            result = AboveThetaResult(np.empty(0), np.empty(0), np.empty(0), theta)
+        self.stats.results += result.num_results
+        return result
+
+    def row_top_k(self, queries, k: int) -> TopKResult:
+        self._require_fitted()
+        queries = as_float_matrix(queries, "queries")
+        check_rank_match(queries, self._probes)
+        require_positive_int(k, "k")
+        num_queries = queries.shape[0]
+        effective_k = min(k, self._probes.shape[0])
+        indices = np.full((num_queries, k), -1, dtype=np.int64)
+        out_scores = np.full((num_queries, k), -np.inf)
+        with Timer() as timer:
+            for query_id, query in enumerate(queries):
+                ids, scores, evaluated = self._scan_top_k(query, effective_k)
+                self.stats.candidates += evaluated
+                self.stats.inner_products += evaluated
+                if ids.size:
+                    take = min(effective_k, ids.size)
+                    top = np.argpartition(-scores, take - 1)[:take]
+                    order = np.argsort(-scores[top], kind="stable")
+                    top = top[order]
+                    indices[query_id, :take] = ids[top]
+                    out_scores[query_id, :take] = scores[top]
+        self.stats.retrieval_seconds += timer.elapsed
+        self.stats.num_queries += num_queries
+        self.stats.results += int(np.sum(indices >= 0))
+        return TopKResult(indices, out_scores, k)
+
+    def _scan_top_k(self, query, k: int):
+        """Scan with a running k-th-best stopping threshold."""
+        best: list[float] = []
+        if self.strategy == "heap":
+            return self._scan_heap_dynamic(query, k, best)
+        return self._scan_blocked_dynamic(query, k, best)
+
+    def _scan_heap_dynamic(self, query, k, best):
+        def stop():
+            return best[0] if len(best) >= k else -np.inf
+
+        collected: dict[int, float] = {}
+
+        # Reuse the heap scan but update the running top-k as probes are seen.
+        lists = self._lists
+        active = self._active_lists(query)
+        if active.size == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0), 0
+        descending = query > 0.0
+        positions = {int(f): 0 for f in active}
+        contributions = {
+            int(f): query[f] * self._frontier_value(int(f), 0, bool(descending[f])) for f in active
+        }
+        bound = sum(contributions.values())
+        heap = [(-contributions[int(f)], int(f)) for f in active]
+        heapq.heapify(heap)
+        evaluated = 0
+        size = lists.size
+        while heap:
+            if bound < stop() and len(collected) > 0:
+                break
+            _, coordinate = heapq.heappop(heap)
+            position = positions[coordinate]
+            if position >= size:
+                continue
+            probe_id = self._frontier_id(coordinate, position, bool(descending[coordinate]))
+            if probe_id not in collected:
+                score = float(self._probes[probe_id] @ query)
+                collected[probe_id] = score
+                evaluated += 1
+                if len(best) < k:
+                    heapq.heappush(best, score)
+                elif score > best[0]:
+                    heapq.heapreplace(best, score)
+            positions[coordinate] = position + 1
+            old = contributions[coordinate]
+            if position + 1 < size:
+                new = query[coordinate] * self._frontier_value(
+                    coordinate, position + 1, bool(descending[coordinate])
+                )
+                contributions[coordinate] = new
+                bound += new - old
+                heapq.heappush(heap, (-new, coordinate))
+            else:
+                bound -= old
+                contributions[coordinate] = 0.0
+        ids = np.fromiter(collected.keys(), dtype=np.intp, count=len(collected))
+        scores = np.fromiter(collected.values(), dtype=np.float64, count=len(collected))
+        return ids, scores, evaluated
+
+    def _scan_blocked_dynamic(self, query, k, best):
+        lists = self._lists
+        active = self._active_lists(query)
+        if active.size == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0), 0
+        size = lists.size
+        seen_mask = np.zeros(size, dtype=bool)
+        scores = np.zeros(size)
+        evaluated = 0
+        position = 0
+        while position < size:
+            block_end = min(position + self.block_size, size)
+            new_ids = []
+            for coordinate in active:
+                if query[coordinate] > 0.0:
+                    chunk = lists.ids[coordinate, size - block_end:size - position]
+                else:
+                    chunk = lists.ids[coordinate, position:block_end]
+                new_ids.append(chunk)
+            candidates = np.unique(np.concatenate(new_ids))
+            fresh = candidates[~seen_mask[candidates]]
+            if fresh.size:
+                fresh_scores = self._probes[fresh] @ query
+                scores[fresh] = fresh_scores
+                seen_mask[fresh] = True
+                evaluated += fresh.size
+                for score in fresh_scores:
+                    if len(best) < k:
+                        heapq.heappush(best, float(score))
+                    elif score > best[0]:
+                        heapq.heapreplace(best, float(score))
+            position = block_end
+            bound = 0.0
+            for coordinate in active:
+                frontier = self._frontier_value(int(coordinate), position - 1, query[coordinate] > 0.0)
+                bound += query[coordinate] * frontier
+            stop_value = best[0] if len(best) >= k else -np.inf
+            if position < size and bound < stop_value:
+                break
+        ids = np.nonzero(seen_mask)[0]
+        return ids, scores[ids], evaluated

@@ -1,0 +1,53 @@
+"""Shared tree-node structure for the cover-tree and ball-tree baselines.
+
+Both trees expose the same node interface so the single- and dual-tree MIPS
+searchers (and the LEMP-Tree bucket retriever) can traverse either structure.
+A node stores a representative *center*, the maximum Euclidean distance from
+that center to any point in its subtree (*radius*), and either children or the
+indices of the points it holds (leaf).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TreeNode:
+    """One node of a space-partitioning tree over a fixed point set."""
+
+    __slots__ = ("center", "center_norm", "radius", "indices", "children", "count")
+
+    def __init__(self, center: np.ndarray, radius: float, indices: np.ndarray | None, children: list | None) -> None:
+        self.center = center
+        self.center_norm = float(np.linalg.norm(center))
+        self.radius = float(radius)
+        self.indices = indices
+        self.children = children or []
+        if indices is not None:
+            self.count = int(len(indices))
+        else:
+            self.count = int(sum(child.count for child in self.children))
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node directly stores point indices."""
+        return self.indices is not None
+
+    def subtree_indices(self) -> np.ndarray:
+        """Collect all point indices below this node (used in tests)."""
+        if self.is_leaf:
+            return np.asarray(self.indices, dtype=np.intp)
+        parts = [child.subtree_indices() for child in self.children]
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.intp)
+
+    def mips_upper_bound(self, query: np.ndarray, query_norm: float) -> float:
+        """Upper bound on ``max_{p in subtree} qᵀp`` (Ram & Gray / Curtin bound).
+
+        For any point ``p`` in the subtree, ``p = c + e`` with ``‖e‖ <= radius``,
+        hence ``qᵀp <= qᵀc + ‖q‖ · radius``.
+        """
+        return float(query @ self.center) + query_norm * self.radius
+
+    def num_nodes(self) -> int:
+        """Total number of nodes in the subtree (used for construction stats)."""
+        return 1 + sum(child.num_nodes() for child in self.children)

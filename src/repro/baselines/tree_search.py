@@ -1,0 +1,197 @@
+"""Single-tree exact maximum-inner-product search (the paper's "Tree" baseline).
+
+The searcher traverses a cover tree or ball tree over the probe vectors and
+prunes subtrees whose MIPS upper bound ``qᵀc + ‖q‖·radius`` cannot reach the
+current threshold: the global θ for Above-θ, or the running k-th best value
+for Row-Top-k (best-first traversal).  The number of exact inner products it
+evaluates is recorded as the candidate count, matching the paper's
+"candidates per query" metric.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.baselines.ball_tree import BallTree
+from repro.baselines.cover_tree import CoverTree
+from repro.core.api import Retriever
+from repro.core.results import AboveThetaResult, TopKResult
+from repro.utils.timer import Timer
+from repro.utils.validation import as_float_matrix, check_rank_match
+
+#: Slack applied to pruning comparisons so results lying exactly on the
+#: threshold are never lost to floating-point rounding of the node bounds.
+_PRUNE_SLACK = 1e-9
+
+
+class TreeSearcher:
+    """Exact MIPS over a single tree built on a fixed point set."""
+
+    def __init__(self, tree, points: np.ndarray) -> None:
+        self.tree = tree
+        self.points = points
+
+    # ------------------------------------------------------------- Above-θ
+
+    def above_theta(self, query: np.ndarray, theta: float) -> tuple[np.ndarray, np.ndarray, int]:
+        """Return ``(indices, scores, num_evaluated)`` of probes with ``qᵀp >= theta``."""
+        query = np.asarray(query, dtype=np.float64)
+        query_norm = float(np.linalg.norm(query))
+        hits: list[np.ndarray] = []
+        scores: list[np.ndarray] = []
+        evaluated = 0
+        stack = [self.tree.root]
+        while stack:
+            node = stack.pop()
+            if node.mips_upper_bound(query, query_norm) < theta - _PRUNE_SLACK:
+                continue
+            if node.is_leaf:
+                indices = np.asarray(node.indices, dtype=np.intp)
+                values = self.points[indices] @ query
+                evaluated += indices.size
+                mask = values >= theta
+                if mask.any():
+                    hits.append(indices[mask])
+                    scores.append(values[mask])
+            else:
+                stack.extend(node.children)
+        if hits:
+            return np.concatenate(hits), np.concatenate(scores), evaluated
+        return np.empty(0, dtype=np.intp), np.empty(0), evaluated
+
+    def evaluated_above(self, query: np.ndarray, theta: float) -> np.ndarray:
+        """Return the indices of probes whose exact product the search evaluates.
+
+        Used when the tree acts as a *candidate generator* inside LEMP
+        (LEMP-Tree): the candidate set is every probe reached in a leaf that
+        could not be pruned.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        query_norm = float(np.linalg.norm(query))
+        reached: list[np.ndarray] = []
+        stack = [self.tree.root]
+        while stack:
+            node = stack.pop()
+            if node.mips_upper_bound(query, query_norm) < theta - _PRUNE_SLACK:
+                continue
+            if node.is_leaf:
+                reached.append(np.asarray(node.indices, dtype=np.intp))
+            else:
+                stack.extend(node.children)
+        if reached:
+            return np.concatenate(reached)
+        return np.empty(0, dtype=np.intp)
+
+    # ------------------------------------------------------------ Row-Top-k
+
+    def top_k(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray, int]:
+        """Best-first top-k MIPS; returns ``(indices, scores, num_evaluated)``."""
+        query = np.asarray(query, dtype=np.float64)
+        query_norm = float(np.linalg.norm(query))
+        threshold = -np.inf
+        best: list[tuple[float, int]] = []  # min-heap of (score, index)
+        evaluated = 0
+        counter = itertools.count()
+        frontier = [(-self.tree.root.mips_upper_bound(query, query_norm), next(counter), self.tree.root)]
+        while frontier:
+            negative_bound, _, node = heapq.heappop(frontier)
+            if -negative_bound < threshold and len(best) >= k:
+                break
+            if node.is_leaf:
+                indices = np.asarray(node.indices, dtype=np.intp)
+                values = self.points[indices] @ query
+                evaluated += indices.size
+                for index, value in zip(indices, values):
+                    if len(best) < k:
+                        heapq.heappush(best, (float(value), int(index)))
+                    elif value > best[0][0]:
+                        heapq.heapreplace(best, (float(value), int(index)))
+                if len(best) >= k:
+                    threshold = best[0][0]
+            else:
+                for child in node.children:
+                    bound = child.mips_upper_bound(query, query_norm)
+                    if bound >= threshold or len(best) < k:
+                        heapq.heappush(frontier, (-bound, next(counter), child))
+        best.sort(reverse=True)
+        indices = np.asarray([index for _, index in best], dtype=np.int64)
+        scores = np.asarray([score for score, _ in best], dtype=np.float64)
+        return indices, scores, evaluated
+
+
+class SingleTreeRetriever(Retriever):
+    """The paper's "Tree" baseline: one cover tree (or ball tree) over all probes."""
+
+    name = "Tree"
+
+    def __init__(self, tree_type: str = "cover", base: float = 1.3, leaf_size: int = 20, seed=None) -> None:
+        super().__init__()
+        if tree_type not in {"cover", "ball"}:
+            raise ValueError(f"tree_type must be 'cover' or 'ball', got {tree_type!r}")
+        self.tree_type = tree_type
+        self.base = base
+        self.leaf_size = leaf_size
+        self.seed = seed
+        self._searcher: TreeSearcher | None = None
+        self._probes: np.ndarray | None = None
+
+    def fit(self, probes) -> "SingleTreeRetriever":
+        self._probes = as_float_matrix(probes, "probes")
+        with Timer() as timer:
+            if self.tree_type == "cover":
+                tree = CoverTree(self._probes, base=self.base, leaf_size=self.leaf_size)
+            else:
+                tree = BallTree(self._probes, leaf_size=self.leaf_size, seed=self.seed)
+            self._searcher = TreeSearcher(tree, self._probes)
+        self.stats.preprocessing_seconds += timer.elapsed
+        self._fitted = True
+        return self
+
+    def above_theta(self, queries, theta: float) -> AboveThetaResult:
+        self._require_fitted()
+        queries = as_float_matrix(queries, "queries")
+        check_rank_match(queries, self._probes)
+        query_ids: list[np.ndarray] = []
+        probe_ids: list[np.ndarray] = []
+        scores: list[np.ndarray] = []
+        with Timer() as timer:
+            for query_id, query in enumerate(queries):
+                indices, values, evaluated = self._searcher.above_theta(query, theta)
+                self.stats.candidates += evaluated
+                self.stats.inner_products += evaluated
+                if indices.size:
+                    query_ids.append(np.full(indices.size, query_id, dtype=np.int64))
+                    probe_ids.append(indices.astype(np.int64))
+                    scores.append(values)
+        self.stats.retrieval_seconds += timer.elapsed
+        self.stats.num_queries += queries.shape[0]
+        if query_ids:
+            result = AboveThetaResult(
+                np.concatenate(query_ids), np.concatenate(probe_ids), np.concatenate(scores), theta
+            )
+        else:
+            result = AboveThetaResult(np.empty(0), np.empty(0), np.empty(0), theta)
+        self.stats.results += result.num_results
+        return result
+
+    def row_top_k(self, queries, k: int) -> TopKResult:
+        self._require_fitted()
+        queries = as_float_matrix(queries, "queries")
+        check_rank_match(queries, self._probes)
+        num_queries = queries.shape[0]
+        indices = np.full((num_queries, k), -1, dtype=np.int64)
+        scores = np.full((num_queries, k), -np.inf)
+        with Timer() as timer:
+            for query_id, query in enumerate(queries):
+                found, values, evaluated = self._searcher.top_k(query, k)
+                self.stats.candidates += evaluated
+                self.stats.inner_products += evaluated
+                indices[query_id, : found.size] = found
+                scores[query_id, : values.size] = values
+        self.stats.retrieval_seconds += timer.elapsed
+        self.stats.num_queries += num_queries
+        self.stats.results += int(np.sum(indices >= 0))
+        return TopKResult(indices, scores, k)

@@ -1,0 +1,209 @@
+"""Command-line interface for the LEMP reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro datasets                         # list the synthetic datasets
+    python -m repro topk --dataset netflix --k 10    # Row-Top-k with LEMP
+    python -m repro above --dataset ie-svd --results 1000
+    python -m repro tables --which table3 table4     # regenerate paper tables
+
+The CLI is a thin wrapper around the library: every sub-command prints the
+same statistics the benchmark harness records (total / preprocessing / tuning
+time and candidates per query) so the paper's experiments can be replayed
+interactively.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.lemp import ALGORITHMS
+from repro.datasets import DATASET_NAMES, dataset_statistics, load_dataset
+from repro.datasets.registry import SCALES
+from repro.eval import (
+    format_table,
+    make_retriever,
+    run_above_theta,
+    run_row_top_k,
+    theta_for_result_count,
+)
+from repro.eval import experiments as experiment_definitions
+
+#: Table/figure identifiers accepted by the ``tables`` sub-command.
+TABLE_BUILDERS = {
+    "table1": lambda scale, seed: _table1(scale, seed),
+    "table2": lambda scale, seed: _simple_rows(
+        experiment_definitions.table2_preprocessing(scale=scale, seed=seed),
+        ["dataset", "algorithm", "preprocessing_seconds", "tuning_seconds", "total_seconds"],
+    ),
+    "table3": lambda scale, seed: _experiment_rows(
+        experiment_definitions.table3_above_theta(scale=scale, seed=seed)
+    ),
+    "table4": lambda scale, seed: _experiment_rows(
+        experiment_definitions.table4_row_top_k(scale=scale, seed=seed)
+    ),
+    "table5": lambda scale, seed: _experiment_rows(
+        experiment_definitions.table5_bucket_above_theta(scale=scale, seed=seed)
+    ),
+    "table6": lambda scale, seed: _experiment_rows(
+        experiment_definitions.table6_bucket_row_top_k(scale=scale, seed=seed)
+    ),
+    "figure3": lambda scale, seed: _simple_rows(
+        experiment_definitions.figure3_feasible_regions(),
+        ["theta_b", "query_coordinate", "lower", "upper", "width"],
+    ),
+    "ablation": lambda scale, seed: _simple_rows(
+        experiment_definitions.cache_ablation(scale=scale, seed=seed),
+        ["configuration", "num_buckets", "total_seconds", "candidates_per_query"],
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the synthetic datasets and their statistics")
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--dataset", default="netflix", choices=DATASET_NAMES)
+    common.add_argument("--algorithm", default="LEMP-LI",
+                        help="Naive, TA, Tree, D-Tree or LEMP-<X> with X in " + ", ".join(ALGORITHMS))
+    common.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    common.add_argument("--seed", type=int, default=0)
+
+    topk = subparsers.add_parser("topk", parents=[common], help="solve Row-Top-k on a dataset")
+    topk.add_argument("--k", type=int, default=10)
+
+    above = subparsers.add_parser("above", parents=[common], help="solve Above-θ on a dataset")
+    group = above.add_mutually_exclusive_group()
+    group.add_argument("--theta", type=float, default=None, help="explicit threshold")
+    group.add_argument("--results", type=int, default=1000,
+                       help="recall level: pick θ so this many entries qualify")
+
+    tables = subparsers.add_parser("tables", help="regenerate paper tables/figures")
+    tables.add_argument("--which", nargs="+", default=["table3"], choices=sorted(TABLE_BUILDERS))
+    tables.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    tables.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+# ------------------------------------------------------------------ commands
+
+def _command_datasets(args, out) -> int:
+    rows = []
+    for name in DATASET_NAMES:
+        dataset = load_dataset(name, scale="tiny")
+        stats = dataset_statistics(dataset)
+        rows.append(
+            [
+                name,
+                stats["num_queries"],
+                stats["num_probes"],
+                stats["rank"],
+                round(stats["query_length_cov"], 2),
+                round(stats["probe_length_cov"], 2),
+            ]
+        )
+    print(format_table(["dataset", "queries", "probes", "rank", "CoV Q", "CoV P"], rows), file=out)
+    return 0
+
+
+def _print_outcome(outcome, out) -> None:
+    rows = [
+        ["algorithm", outcome.algorithm],
+        ["dataset", outcome.dataset],
+        ["problem", outcome.problem],
+        ["parameter", outcome.parameter],
+        ["total seconds", round(outcome.total_seconds, 4)],
+        ["preprocessing seconds", round(outcome.preprocessing_seconds, 4)],
+        ["tuning seconds", round(outcome.tuning_seconds, 4)],
+        ["retrieval seconds", round(outcome.retrieval_seconds, 4)],
+        ["candidates per query", round(outcome.candidates_per_query, 1)],
+        ["results", outcome.num_results],
+    ]
+    print(format_table(["metric", "value"], rows), file=out)
+
+
+def _command_topk(args, out) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    retriever = make_retriever(args.algorithm, seed=args.seed)
+    outcome = run_row_top_k(retriever, dataset, args.k)
+    _print_outcome(outcome, out)
+    return 0
+
+
+def _command_above(args, out) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    theta = args.theta
+    if theta is None:
+        theta = theta_for_result_count(dataset.queries, dataset.probes, args.results)
+    if theta <= 0.0:
+        print("error: the requested recall level yields a non-positive threshold", file=out)
+        return 1
+    retriever = make_retriever(args.algorithm, seed=args.seed)
+    outcome = run_above_theta(retriever, dataset, theta)
+    _print_outcome(outcome, out)
+    return 0
+
+
+def _table1(scale, seed):
+    rows = experiment_definitions.table1_dataset_statistics(scale=scale, seed=seed)
+    headers = ["name", "num_queries", "num_probes", "rank",
+               "query_length_cov", "probe_length_cov", "fraction_nonzero"]
+    return headers, [[_round(row[column]) for column in headers] for row in rows]
+
+
+def _simple_rows(rows, headers):
+    return headers, [[_round(row[column]) for column in headers] for row in rows]
+
+
+def _experiment_rows(results):
+    headers = ["dataset", "problem", "parameter", "algorithm",
+               "total_seconds", "candidates_per_query", "num_results"]
+    rows = [
+        [
+            result.dataset,
+            result.problem,
+            _round(result.parameter),
+            result.algorithm,
+            _round(result.total_seconds),
+            _round(result.candidates_per_query),
+            result.num_results,
+        ]
+        for result in results
+    ]
+    return headers, rows
+
+
+def _round(value):
+    if isinstance(value, float):
+        return round(value, 4)
+    return value
+
+
+def _command_tables(args, out) -> int:
+    for which in args.which:
+        headers, rows = TABLE_BUILDERS[which](args.scale, args.seed)
+        print(f"\n== {which} (scale={args.scale}) ==", file=out)
+        print(format_table(headers, rows), file=out)
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _command_datasets(args, out)
+    if args.command == "topk":
+        return _command_topk(args, out)
+    if args.command == "above":
+        return _command_above(args, out)
+    return _command_tables(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

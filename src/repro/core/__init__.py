@@ -1,0 +1,27 @@
+"""Core LEMP implementation: buckets, bounds, retrievers, tuner, and solvers."""
+
+from repro.core.api import Retriever
+from repro.core.bucket import Bucket
+from repro.core.bucketize import bucketize, max_bucket_size_for_cache
+from repro.core.lemp import ALGORITHMS, Lemp
+from repro.core.results import AboveThetaResult, TopKResult
+from repro.core.stats import RunStats
+from repro.core.thresholds import feasible_region, local_threshold, local_thresholds
+from repro.core.vector_store import PreparedQueries, VectorStore
+
+__all__ = [
+    "ALGORITHMS",
+    "AboveThetaResult",
+    "Bucket",
+    "Lemp",
+    "PreparedQueries",
+    "Retriever",
+    "RunStats",
+    "TopKResult",
+    "VectorStore",
+    "bucketize",
+    "feasible_region",
+    "local_threshold",
+    "local_thresholds",
+    "max_bucket_size_for_cache",
+]

@@ -1,0 +1,81 @@
+"""Above-θ solver: the retrieval phase of Algorithm 1.
+
+Buckets are processed in the outer loop and queries in the inner loop (the
+cache-friendly order of the paper).  For every bucket the local thresholds of
+*all* queries are computed in one vectorised step, whole-bucket pruning is a
+single comparison, and only the surviving queries enter the per-query
+candidate-generation / verification path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bucket import Bucket
+from repro.core.selector import RetrieverSelector
+from repro.core.stats import RunStats
+from repro.core.thresholds import local_thresholds
+from repro.core.vector_store import PreparedQueries
+
+#: Tolerance subtracted from θ during verification so results that equal the
+#: threshold up to floating-point rounding are not dropped.
+_VERIFY_SLACK = 1e-12
+
+
+def solve_above_theta(
+    queries: PreparedQueries,
+    buckets: list[Bucket],
+    theta: float,
+    selector: RetrieverSelector,
+    stats: RunStats,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Retrieve all (query, probe) pairs with inner product at least ``theta``.
+
+    Returns three parallel arrays: original query ids, original probe ids and
+    exact scores.
+    """
+    out_query_ids: list[np.ndarray] = []
+    out_probe_ids: list[np.ndarray] = []
+    out_scores: list[np.ndarray] = []
+
+    for bucket in buckets:
+        thresholds = local_thresholds(theta, queries.norms, bucket.max_length)
+        active = np.nonzero(thresholds <= 1.0)[0]
+        stats.buckets_pruned += queries.size - active.size
+        stats.buckets_examined += active.size
+        if active.size == 0:
+            continue
+
+        bucket_lengths = bucket.lengths
+        bucket_directions = bucket.directions
+        bucket_ids = bucket.ids
+
+        for position in active:
+            theta_b = float(thresholds[position])
+            query_direction = queries.directions[position]
+            query_norm = float(queries.norms[position])
+            retriever, phi = selector.select(bucket, theta_b)
+            candidates = retriever.retrieve(
+                bucket, query_direction, query_norm, theta, theta_b, phi
+            )
+            stats.candidates += int(candidates.size)
+            if candidates.size == 0:
+                continue
+            cosines = bucket_directions[candidates] @ query_direction
+            scores = cosines * (query_norm * bucket_lengths[candidates])
+            stats.inner_products += int(candidates.size)
+            hits = scores >= theta - _VERIFY_SLACK
+            if not hits.any():
+                continue
+            hit_candidates = candidates[hits]
+            out_query_ids.append(np.full(hit_candidates.size, queries.ids[position], dtype=np.int64))
+            out_probe_ids.append(bucket_ids[hit_candidates].astype(np.int64))
+            out_scores.append(scores[hits])
+
+    if out_query_ids:
+        return (
+            np.concatenate(out_query_ids),
+            np.concatenate(out_probe_ids),
+            np.concatenate(out_scores),
+        )
+    return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0)

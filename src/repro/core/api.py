@@ -1,0 +1,44 @@
+"""Common interface implemented by every large-entry retrieval method.
+
+The evaluation harness treats LEMP and all baselines (Naive, TA, single- and
+dual-tree) uniformly through this interface: ``fit`` indexes the probe matrix,
+``above_theta`` solves Problem 1 and ``row_top_k`` solves Problem 2, and
+``stats`` exposes the timings and pruning counters the paper reports.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.results import AboveThetaResult, TopKResult
+from repro.core.stats import RunStats
+from repro.exceptions import NotPreparedError
+
+
+class Retriever(ABC):
+    """Abstract large-entry retriever over a fixed probe matrix."""
+
+    #: Short display name used in benchmark tables.
+    name: str = "retriever"
+
+    def __init__(self) -> None:
+        self.stats = RunStats()
+        self._fitted = False
+
+    @abstractmethod
+    def fit(self, probes) -> "Retriever":
+        """Index the probe matrix (rows are probe vectors) and return ``self``."""
+
+    @abstractmethod
+    def above_theta(self, queries, theta: float) -> AboveThetaResult:
+        """Retrieve all (query, probe) pairs with inner product at least ``theta``."""
+
+    @abstractmethod
+    def row_top_k(self, queries, k: int) -> TopKResult:
+        """Retrieve, for every query row, the ``k`` probes with largest inner product."""
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotPreparedError(
+                f"{type(self).__name__}.fit(probes) must be called before retrieval"
+            )

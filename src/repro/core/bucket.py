@@ -1,0 +1,119 @@
+"""Probe buckets: contiguous length-sorted slices of a :class:`VectorStore`.
+
+A bucket corresponds to one block ``P^b`` of the paper's bucketised probe
+matrix (Fig. 2 / Fig. 4a).  Buckets expose views on the lengths, directions and
+original identifiers of their probes and *lazily* build the auxiliary indexes
+used by the different retrieval algorithms (sorted lists for COORD/INCR/TA, a
+cover tree for LEMP-Tree, an L2AP index and LSH signatures for LEMP-L2AP /
+LEMP-BLSH).  Lazy construction mirrors the paper: buckets that are always
+pruned never pay any indexing cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sorted_lists import SortedListIndex
+from repro.core.vector_store import VectorStore
+
+
+class Bucket:
+    """One bucket of probes of roughly similar length.
+
+    Parameters
+    ----------
+    store:
+        The length-sorted probe store the bucket slices into.
+    start, end:
+        Half-open position range ``[start, end)`` within the store.
+    index:
+        Ordinal number of the bucket (0 = longest vectors).
+    """
+
+    def __init__(self, store: VectorStore, start: int, end: int, index: int) -> None:
+        if not 0 <= start < end <= store.size:
+            raise ValueError(f"invalid bucket range [{start}, {end}) for store of size {store.size}")
+        self.store = store
+        self.start = start
+        self.end = end
+        self.index = index
+        self._sorted_lists: SortedListIndex | None = None
+        self._extra_indexes: dict[str, object] = {}
+
+    # ------------------------------------------------------------------ views
+
+    @property
+    def size(self) -> int:
+        """Number of probe vectors in the bucket."""
+        return self.end - self.start
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Lengths of the bucket's probes, in decreasing order."""
+        return self.store.lengths[self.start:self.end]
+
+    @property
+    def directions(self) -> np.ndarray:
+        """Unit directions of the bucket's probes (``size x rank``)."""
+        return self.store.directions[self.start:self.end]
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Original probe-matrix row identifiers of the bucket's probes."""
+        return self.store.ids[self.start:self.end]
+
+    @property
+    def max_length(self) -> float:
+        """``l_b``: length of the longest probe in the bucket."""
+        return float(self.store.lengths[self.start])
+
+    @property
+    def min_length(self) -> float:
+        """Length of the shortest probe in the bucket."""
+        return float(self.store.lengths[self.end - 1])
+
+    def vectors(self) -> np.ndarray:
+        """Reconstruct the bucket's original (unnormalised) probe vectors."""
+        return self.directions * self.lengths[:, None]
+
+    # ------------------------------------------------------------ lazy indexes
+
+    @property
+    def sorted_lists_built(self) -> bool:
+        """Whether the sorted-list index has already been constructed."""
+        return self._sorted_lists is not None
+
+    def sorted_lists(self) -> SortedListIndex:
+        """Return the bucket's sorted-list index, building it on first use."""
+        if self._sorted_lists is None:
+            self._sorted_lists = SortedListIndex(self.directions)
+        return self._sorted_lists
+
+    def get_index(self, key: str, builder):
+        """Return a named auxiliary index, building it with ``builder()`` on first use.
+
+        Used by the LEMP-Tree / LEMP-L2AP / LEMP-BLSH retrievers to attach
+        their per-bucket data structures without the bucket knowing about
+        every retrieval algorithm.
+        """
+        if key not in self._extra_indexes:
+            self._extra_indexes[key] = builder()
+        return self._extra_indexes[key]
+
+    def drop_index(self, key: str) -> None:
+        """Discard a named auxiliary index so it is rebuilt on next use.
+
+        Needed by retrievers whose index depends on the retrieval threshold
+        (LEMP-L2AP, LEMP-BLSH) when the same :class:`Bucket` is reused for a
+        new problem instance.
+        """
+        self._extra_indexes.pop(key, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Bucket(index={self.index}, size={self.size}, "
+            f"max_length={self.max_length:.4g}, min_length={self.min_length:.4g})"
+        )

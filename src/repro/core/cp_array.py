@@ -1,0 +1,84 @@
+"""Candidate-pruning (CP) arrays for COORD and INCR (paper Sections 4.2–4.3).
+
+The CP array counts, for every probe in a bucket, in how many focus-coordinate
+scan ranges it appeared.  The *extended* CP array additionally accumulates the
+partial inner product ``q̄_Fᵀ p̄_F`` and the partial squared norm ``‖p̄_F‖²``
+over the coordinates in which the probe was seen, which INCR combines with the
+Cauchy–Schwarz bound on the unseen part.
+
+Both aggregations are implemented with ``numpy.bincount`` over the scan-range
+slices, which is the vectorised equivalent of the per-entry counter updates in
+Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sorted_lists import SortedListIndex
+from repro.core.thresholds import feasible_region
+
+__all__ = ["count_scan_hits", "accumulate_partial_products", "scan_ranges"]
+
+
+def scan_ranges(
+    index: SortedListIndex,
+    query_direction: np.ndarray,
+    focus: np.ndarray,
+    theta_b: float,
+) -> list[tuple[int, int, int]]:
+    """Compute the scan range of every focus coordinate.
+
+    Returns a list of ``(coordinate, start, end)`` triples; entries of list
+    ``coordinate`` in positions ``[start, end)`` lie inside the feasible region
+    of that coordinate.
+    """
+    lowers, uppers = feasible_region(query_direction[focus], theta_b)
+    ranges = []
+    for position, coordinate in enumerate(np.asarray(focus, dtype=np.intp)):
+        start, end = index.scan_range(int(coordinate), lowers[position], uppers[position])
+        ranges.append((int(coordinate), start, end))
+    return ranges
+
+
+def count_scan_hits(
+    index: SortedListIndex,
+    query_direction: np.ndarray,
+    focus: np.ndarray,
+    theta_b: float,
+    size: int,
+) -> np.ndarray:
+    """CP array of COORD: per-probe count of focus scan ranges it appears in."""
+    counts = np.zeros(size, dtype=np.int64)
+    for coordinate, start, end in scan_ranges(index, query_direction, focus, theta_b):
+        lids = index.lids[coordinate, start:end]
+        counts += np.bincount(lids, minlength=size)
+    return counts
+
+
+def accumulate_partial_products(
+    index: SortedListIndex,
+    query_direction: np.ndarray,
+    focus: np.ndarray,
+    theta_b: float,
+    size: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Extended CP array of INCR.
+
+    Returns
+    -------
+    (counts, partial_dot, partial_sqnorm):
+        ``counts[lid]`` — number of focus scan ranges probe ``lid`` appeared in;
+        ``partial_dot[lid]`` — accumulated ``Σ q̄_f p̄_f`` over those coordinates;
+        ``partial_sqnorm[lid]`` — accumulated ``Σ p̄_f²`` over those coordinates.
+    """
+    counts = np.zeros(size, dtype=np.int64)
+    partial_dot = np.zeros(size, dtype=np.float64)
+    partial_sqnorm = np.zeros(size, dtype=np.float64)
+    for coordinate, start, end in scan_ranges(index, query_direction, focus, theta_b):
+        lids = index.lids[coordinate, start:end]
+        values = index.values[coordinate, start:end]
+        counts += np.bincount(lids, minlength=size)
+        partial_dot += np.bincount(lids, weights=query_direction[coordinate] * values, minlength=size)
+        partial_sqnorm += np.bincount(lids, weights=values * values, minlength=size)
+    return counts, partial_dot, partial_sqnorm

@@ -1,0 +1,291 @@
+"""The LEMP retriever: public entry point of the library.
+
+:class:`Lemp` wires together the preprocessing phase (length/direction
+decomposition and bucketisation), the sample-based tuner, and the Above-θ /
+Row-Top-k solvers.  The ``algorithm`` parameter selects which bucket retrieval
+method is used, mirroring the paper's LEMP-X naming:
+
+========= =====================================================================
+name      bucket algorithm
+========= =====================================================================
+``"L"``    LENGTH (length-based prefix pruning)
+``"C"``    COORD (coordinate-based pruning)
+``"I"``    INCR (incremental pruning)
+``"TA"``   threshold algorithm on the bucket's sorted lists
+``"TREE"`` per-bucket cover tree
+``"L2AP"`` per-bucket L2AP-style inverted index
+``"BLSH"`` LENGTH + BayesLSH-Lite signature filtering (approximate)
+``"LC"``   tuned mix of LENGTH and COORD
+``"LI"``   tuned mix of LENGTH and INCR (the paper's overall winner, default)
+========= =====================================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.above_theta import solve_above_theta
+from repro.core.api import Retriever
+from repro.core.bucketize import DEFAULT_CACHE_KIB, bucketize
+from repro.core.results import AboveThetaResult, TopKResult
+from repro.core.retrievers import (
+    BlshBucketRetriever,
+    CoordRetriever,
+    IncrRetriever,
+    L2APBucketRetriever,
+    LengthRetriever,
+    TABucketRetriever,
+    TreeBucketRetriever,
+)
+from repro.core.selector import DEFAULT_PHI, FixedSelector, PerBucketSelector
+from repro.core.top_k import solve_row_top_k
+from repro.core.tuner import DEFAULT_PHI_GRID, DEFAULT_SAMPLE_SIZE, tune_mixed, tune_phi
+from repro.core.vector_store import PreparedQueries, VectorStore
+from repro.exceptions import DimensionMismatchError, UnknownAlgorithmError
+from repro.utils.timer import Timer
+from repro.utils.validation import require_positive, require_positive_int
+
+#: Names of all supported bucket algorithms.
+ALGORITHMS = ("L", "C", "I", "TA", "TREE", "L2AP", "BLSH", "LC", "LI")
+
+#: Number of longest probes scored exactly to seed the Row-Top-k tuner.
+_TOPK_TUNING_SEED_PROBES = 200
+
+
+class Lemp(Retriever):
+    """LEMP retriever over a fixed probe matrix.
+
+    Parameters
+    ----------
+    algorithm:
+        Bucket retrieval method, one of :data:`ALGORITHMS` (case-insensitive).
+    min_bucket_size, max_bucket_size, length_ratio, cache_kib:
+        Bucketisation parameters, see :func:`repro.core.bucketize.bucketize`.
+        Passing ``cache_kib=None`` together with ``max_bucket_size=None`` gives
+        the cache-oblivious variant used in the Section 6.2 ablation.
+    phi:
+        Fixed focus-set size for coordinate-based methods.  ``None`` (default)
+        lets the sample-based tuner pick a per-bucket value.
+    tune_sample, phi_grid:
+        Tuner sample size and candidate focus-set sizes (Section 4.4).
+    seed:
+        Seed for the tuner's query sample and the BLSH signatures.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "LI",
+        min_bucket_size: int = 30,
+        max_bucket_size: int | None = None,
+        length_ratio: float = 0.9,
+        cache_kib: float | None = DEFAULT_CACHE_KIB,
+        phi: int | None = None,
+        tune_sample: int = DEFAULT_SAMPLE_SIZE,
+        phi_grid=DEFAULT_PHI_GRID,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        algorithm = str(algorithm).upper()
+        if algorithm not in ALGORITHMS:
+            raise UnknownAlgorithmError(
+                f"unknown LEMP algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        self.algorithm = algorithm
+        self.min_bucket_size = min_bucket_size
+        self.max_bucket_size = max_bucket_size
+        self.length_ratio = length_ratio
+        self.cache_kib = cache_kib
+        self.phi = phi
+        self.tune_sample = tune_sample
+        self.phi_grid = tuple(phi_grid)
+        self.seed = seed
+        self.name = f"LEMP-{algorithm}"
+        self.store: VectorStore | None = None
+        self.buckets: list = []
+
+    # ------------------------------------------------------------------- fit
+
+    def fit(self, probes) -> "Lemp":
+        """Decompose and bucketise the probe matrix (preprocessing phase)."""
+        with Timer() as timer:
+            self.store = VectorStore(probes)
+            self.buckets = bucketize(
+                self.store,
+                min_bucket_size=self.min_bucket_size,
+                max_bucket_size=self.max_bucket_size,
+                length_ratio=self.length_ratio,
+                cache_kib=self.cache_kib,
+            )
+        self.stats.preprocessing_seconds += timer.elapsed
+        self._fitted = True
+        return self
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets the probe matrix was split into."""
+        return len(self.buckets)
+
+    def _check_rank(self, prepared: PreparedQueries) -> None:
+        if prepared.rank != self.store.rank:
+            raise DimensionMismatchError(
+                "query and probe matrices must have the same rank: "
+                f"{prepared.rank} != {self.store.rank}"
+            )
+
+    # -------------------------------------------------------------- selectors
+
+    def _coordinate_retriever(self, problem: str):
+        if self.algorithm in {"C", "LC"}:
+            return CoordRetriever()
+        if self.algorithm in {"I", "LI"}:
+            return IncrRetriever()
+        if self.algorithm == "TA":
+            return TABucketRetriever()
+        if self.algorithm == "TREE":
+            return TreeBucketRetriever()
+        if self.algorithm == "L2AP":
+            return L2APBucketRetriever(use_index_reduction=(problem == "above_theta"))
+        if self.algorithm == "BLSH":
+            return BlshBucketRetriever(seed=self.seed)
+        return None
+
+    def _invalidate_threshold_dependent_indexes(self) -> None:
+        """Drop per-bucket indexes whose content depends on the threshold."""
+        if self.algorithm in {"L2AP", "BLSH"}:
+            key = "l2ap" if self.algorithm == "L2AP" else "blsh"
+            for bucket in self.buckets:
+                bucket.drop_index(key)
+
+    def _build_selector(self, queries: PreparedQueries, query_thetas, problem: str):
+        """Create the per-call selector, running the tuner when required."""
+        default_phi = self.phi if self.phi is not None else DEFAULT_PHI
+
+        if self.algorithm == "L":
+            return FixedSelector(LengthRetriever(), phi=default_phi)
+        if self.algorithm in {"TA", "TREE", "L2AP", "BLSH"}:
+            return FixedSelector(self._coordinate_retriever(problem), phi=default_phi)
+
+        coordinate = self._coordinate_retriever(problem)
+        if self.algorithm in {"C", "I"}:
+            if self.phi is not None:
+                return FixedSelector(coordinate, phi=self.phi)
+            with Timer() as timer:
+                tuning = tune_phi(
+                    self.buckets,
+                    queries,
+                    query_thetas,
+                    coordinate,
+                    phi_grid=self.phi_grid,
+                    sample_size=self.tune_sample,
+                    seed=self.seed,
+                )
+            self.stats.tuning_seconds += timer.elapsed
+            return FixedSelector(coordinate, phi=DEFAULT_PHI, per_bucket_phi=tuning.per_bucket_phi)
+
+        # Mixed LENGTH + coordinate algorithms ("LC", "LI").
+        length = LengthRetriever()
+        with Timer() as timer:
+            tuning = tune_mixed(
+                self.buckets,
+                queries,
+                query_thetas,
+                length,
+                coordinate,
+                phi_grid=self.phi_grid,
+                sample_size=self.tune_sample,
+                seed=self.seed,
+            )
+        self.stats.tuning_seconds += timer.elapsed
+        return PerBucketSelector(
+            length,
+            coordinate,
+            switch_thresholds=tuning.switch_thresholds,
+            per_bucket_phi=tuning.per_bucket_phi,
+            default_phi=default_phi,
+        )
+
+    # --------------------------------------------------------------- problems
+
+    def above_theta(self, queries, theta: float) -> AboveThetaResult:
+        """Solve the Above-θ problem (Problem 1) for the given query matrix."""
+        self._require_fitted()
+        require_positive(theta, "theta")
+        with Timer() as preprocess_timer:
+            prepared = PreparedQueries(queries)
+        self.stats.preprocessing_seconds += preprocess_timer.elapsed
+        self._check_rank(prepared)
+
+        self._invalidate_threshold_dependent_indexes()
+        query_thetas = np.full(prepared.size, float(theta))
+        selector = self._build_selector(prepared, query_thetas, problem="above_theta")
+
+        with Timer() as timer:
+            query_ids, probe_ids, scores = solve_above_theta(
+                prepared, self.buckets, float(theta), selector, self.stats
+            )
+        self.stats.retrieval_seconds += timer.elapsed
+        self.stats.num_queries += prepared.size
+        self.stats.results += int(query_ids.size)
+        return AboveThetaResult(query_ids, probe_ids, scores, float(theta))
+
+    def row_top_k(self, queries, k: int) -> TopKResult:
+        """Solve the Row-Top-k problem (Problem 2) for the given query matrix."""
+        self._require_fitted()
+        require_positive_int(k, "k")
+        with Timer() as preprocess_timer:
+            prepared = PreparedQueries(queries)
+        self.stats.preprocessing_seconds += preprocess_timer.elapsed
+        self._check_rank(prepared)
+
+        self._invalidate_threshold_dependent_indexes()
+        query_thetas = self._surrogate_topk_thresholds(prepared, k)
+        selector = self._build_selector(prepared, query_thetas, problem="row_top_k")
+
+        with Timer() as timer:
+            indices, scores = solve_row_top_k(prepared, self.buckets, k, selector, self.stats)
+        self.stats.retrieval_seconds += timer.elapsed
+        self.stats.num_queries += prepared.size
+        self.stats.results += int(np.sum(indices >= 0))
+        return TopKResult(indices, scores, k)
+
+    def column_top_k(self, queries, k: int) -> TopKResult:
+        """Top-k *queries* for every probe (the paper's column-wise variant).
+
+        The paper notes that the top-k entries of each column of ``Q Pᵀ`` are
+        obtained by swapping the roles of the two matrices.  This convenience
+        method builds the swapped retriever on the fly; for repeated use,
+        construct ``Lemp().fit(queries)`` once and call :meth:`row_top_k`.
+        """
+        self._require_fitted()
+        queries = np.asarray(queries, dtype=np.float64)
+        swapped = Lemp(
+            algorithm=self.algorithm,
+            min_bucket_size=self.min_bucket_size,
+            max_bucket_size=self.max_bucket_size,
+            length_ratio=self.length_ratio,
+            cache_kib=self.cache_kib,
+            phi=self.phi,
+            tune_sample=self.tune_sample,
+            phi_grid=self.phi_grid,
+            seed=self.seed,
+        ).fit(queries)
+        probes = self.store.vectors()[np.argsort(self.store.ids)]
+        result = swapped.row_top_k(probes, k)
+        self.stats.merge(swapped.stats)
+        return result
+
+    def _surrogate_topk_thresholds(self, prepared: PreparedQueries, k: int) -> np.ndarray:
+        """Estimate per-query top-k thresholds for the tuner.
+
+        The k-th largest score against the longest few hundred probes is a
+        lower bound on (and usually close to) the final θ′ of each query, so
+        tuning against it reflects the local thresholds the solver will see.
+        """
+        if prepared.size == 0 or self.store is None or self.store.size == 0:
+            return np.zeros(prepared.size)
+        seed_count = min(self.store.size, max(_TOPK_TUNING_SEED_PROBES, k))
+        seed_vectors = self.store.vectors(0, seed_count)
+        scores = prepared.directions @ seed_vectors.T
+        effective_k = min(k, seed_count)
+        partition = np.partition(-scores, effective_k - 1, axis=1)
+        return -partition[:, effective_k - 1]

@@ -1,0 +1,95 @@
+"""Result containers returned by the retrieval algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class AboveThetaResult:
+    """Solution of the Above-θ problem: all entries of ``Q Pᵀ`` at or above θ.
+
+    Attributes
+    ----------
+    query_ids, probe_ids:
+        Parallel integer arrays; entry ``t`` states that query row
+        ``query_ids[t]`` and probe row ``probe_ids[t]`` have an inner product
+        ``scores[t] >= theta``.
+    scores:
+        The exact inner-product values.
+    theta:
+        The threshold used for the retrieval.
+    """
+
+    query_ids: np.ndarray
+    probe_ids: np.ndarray
+    scores: np.ndarray
+    theta: float
+
+    def __post_init__(self) -> None:
+        self.query_ids = np.asarray(self.query_ids, dtype=np.int64)
+        self.probe_ids = np.asarray(self.probe_ids, dtype=np.int64)
+        self.scores = np.asarray(self.scores, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return int(self.query_ids.shape[0])
+
+    @property
+    def num_results(self) -> int:
+        """Number of retrieved (query, probe) pairs."""
+        return len(self)
+
+    def to_set(self) -> set[tuple[int, int]]:
+        """Return the result as a set of ``(query_id, probe_id)`` pairs."""
+        return set(zip(self.query_ids.tolist(), self.probe_ids.tolist()))
+
+    def sorted_by_score(self) -> "AboveThetaResult":
+        """Return a copy sorted by decreasing score (ties broken by ids)."""
+        order = np.lexsort((self.probe_ids, self.query_ids, -self.scores))
+        return AboveThetaResult(
+            self.query_ids[order], self.probe_ids[order], self.scores[order], self.theta
+        )
+
+
+@dataclass
+class TopKResult:
+    """Solution of the Row-Top-k problem.
+
+    Attributes
+    ----------
+    indices:
+        ``(num_queries, k)`` array; row ``i`` holds the probe ids of the ``k``
+        largest inner products for query ``i`` in decreasing score order.
+        Unused slots (when the probe matrix has fewer than ``k`` rows) are -1.
+    scores:
+        ``(num_queries, k)`` matching inner-product values (``-inf`` padding).
+    k:
+        The requested number of results per query.
+    """
+
+    indices: np.ndarray
+    scores: np.ndarray
+    k: int
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.scores = np.asarray(self.scores, dtype=np.float64)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of query rows answered."""
+        return int(self.indices.shape[0])
+
+    def row(self, query_id: int) -> list[tuple[int, float]]:
+        """Return the ``(probe_id, score)`` pairs of one query, best first."""
+        pairs = []
+        for probe_id, score in zip(self.indices[query_id], self.scores[query_id]):
+            if probe_id >= 0:
+                pairs.append((int(probe_id), float(score)))
+        return pairs
+
+    def row_sets(self) -> list[set[int]]:
+        """Return, per query, the set of retrieved probe ids (ignoring order)."""
+        return [{int(j) for j in row if j >= 0} for row in self.indices]

@@ -1,0 +1,28 @@
+"""Bucket retrieval algorithms (paper Section 4).
+
+Every retriever answers one question: *given one query and one bucket, which
+probes of the bucket might reach the threshold?*  The solver verifies the
+returned candidates with exact inner products, so retrievers only need to
+guarantee that no qualifying probe is missing (BLSH is the one deliberately
+approximate exception, mirroring the paper).
+"""
+
+from repro.core.retrievers.base import BucketRetriever
+from repro.core.retrievers.blsh import BlshBucketRetriever
+from repro.core.retrievers.coord import CoordRetriever
+from repro.core.retrievers.incr import IncrRetriever
+from repro.core.retrievers.l2ap import L2APBucketRetriever
+from repro.core.retrievers.length import LengthRetriever
+from repro.core.retrievers.ta import TABucketRetriever
+from repro.core.retrievers.tree import TreeBucketRetriever
+
+__all__ = [
+    "BlshBucketRetriever",
+    "BucketRetriever",
+    "CoordRetriever",
+    "IncrRetriever",
+    "L2APBucketRetriever",
+    "LengthRetriever",
+    "TABucketRetriever",
+    "TreeBucketRetriever",
+]

@@ -1,0 +1,59 @@
+"""BayesLSH-Lite as a bucket retrieval algorithm (LEMP-BLSH, paper Section 6.3).
+
+Candidates are first generated with the LENGTH prefix rule and then filtered
+by the BayesLSH-Lite minimum-match signature test.  As in the paper, the
+minimum number of matching bits is precomputed from the smallest local
+threshold the bucket sees (the one of the longest query processed first),
+which keeps the filter conservative and — as the evaluation shows — barely
+more selective than LENGTH alone.  The filter admits false negatives with
+probability up to ``false_negative_rate`` (0.03), making LEMP-BLSH the only
+approximate method in the family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bucket import Bucket
+from repro.core.retrievers.base import BucketRetriever
+from repro.core.retrievers.length import LengthRetriever
+from repro.similarity.bayes_lsh import BayesLshFilter
+
+
+class BlshBucketRetriever(BucketRetriever):
+    """LENGTH candidate generation followed by LSH signature filtering."""
+
+    name = "BLSH"
+
+    def __init__(self, num_bits: int = 32, false_negative_rate: float = 0.03, seed: int = 0) -> None:
+        self.num_bits = num_bits
+        self.false_negative_rate = false_negative_rate
+        self.seed = seed
+        self._length = LengthRetriever()
+
+    def _filter(self, bucket: Bucket, theta_b: float) -> tuple[BayesLshFilter, float]:
+        def build() -> tuple[BayesLshFilter, float]:
+            lsh_filter = BayesLshFilter(
+                bucket.directions,
+                num_bits=self.num_bits,
+                false_negative_rate=self.false_negative_rate,
+                seed=self.seed + bucket.index,
+            )
+            return lsh_filter, theta_b
+
+        return bucket.get_index("blsh", build)
+
+    def retrieve(
+        self,
+        bucket: Bucket,
+        query_direction: np.ndarray,
+        query_norm: float,
+        theta: float,
+        theta_b: float,
+        phi: int = 0,
+    ) -> np.ndarray:
+        candidates = self._length.retrieve(bucket, query_direction, query_norm, theta, theta_b, phi)
+        if candidates.size == 0 or not np.isfinite(theta_b) or theta_b <= 0.0:
+            return candidates
+        lsh_filter, base_threshold = self._filter(bucket, theta_b)
+        return lsh_filter.prune(query_direction, candidates, base_threshold)

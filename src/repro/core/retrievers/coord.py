@@ -1,0 +1,48 @@
+"""COORD: coordinate-based pruning with the CP array (paper Section 4.2, Alg. 2).
+
+For the ``phi`` focus coordinates with largest ``|q̄_f|``, COORD computes the
+feasible region ``[L_f, U_f]``, finds the corresponding scan range of the
+bucket's sorted lists with binary search, counts per-probe occurrences in the
+CP array, and keeps the probes that appeared in *every* scan range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bucket import Bucket
+from repro.core.cp_array import count_scan_hits
+from repro.core.retrievers.base import BucketRetriever
+
+
+def select_focus_coordinates(query_direction: np.ndarray, phi: int) -> np.ndarray:
+    """The ``phi`` coordinates with the largest absolute query value."""
+    rank = query_direction.shape[0]
+    phi = max(1, min(phi, rank))
+    if phi >= rank:
+        return np.argsort(-np.abs(query_direction), kind="stable")
+    top = np.argpartition(-np.abs(query_direction), phi - 1)[:phi]
+    return top[np.argsort(-np.abs(query_direction[top]), kind="stable")]
+
+
+class CoordRetriever(BucketRetriever):
+    """Candidate generation by intersecting focus-coordinate scan ranges."""
+
+    name = "COORD"
+
+    def retrieve(
+        self,
+        bucket: Bucket,
+        query_direction: np.ndarray,
+        query_norm: float,
+        theta: float,
+        theta_b: float,
+        phi: int = 3,
+    ) -> np.ndarray:
+        if not np.isfinite(theta_b) or theta_b <= 0.0:
+            # The feasible region is the whole value range: no pruning possible.
+            return self.all_candidates(bucket)
+        focus = select_focus_coordinates(query_direction, phi)
+        index = bucket.sorted_lists()
+        counts = count_scan_hits(index, query_direction, focus, theta_b, bucket.size)
+        return np.nonzero(counts == focus.size)[0].astype(np.intp)

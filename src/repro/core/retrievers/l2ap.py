@@ -1,0 +1,54 @@
+"""L2AP as a bucket retrieval algorithm (LEMP-L2AP, paper Sections 5 and 6.3).
+
+A separate L2AP-style index (see :mod:`repro.similarity.l2ap`) is built lazily
+for each bucket.  As in the paper, the index-reduction threshold is fixed when
+the index is first used — at that point the query being processed is the
+longest remaining one, so its local threshold ``θ_b(q_max)`` is a valid lower
+bound for all later queries of an Above-θ run.  For Row-Top-k the running
+threshold θ′ is query-specific, so index reduction is disabled and the index
+degenerates to a full inverted index (still correct, less index pruning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bucket import Bucket
+from repro.core.retrievers.base import BucketRetriever
+from repro.similarity.l2ap import L2APIndex
+
+
+class L2APBucketRetriever(BucketRetriever):
+    """Prefix-norm inverted-index candidate generation inside one bucket."""
+
+    name = "L2AP"
+
+    def __init__(self, use_index_reduction: bool = True) -> None:
+        self.use_index_reduction = use_index_reduction
+
+    def _index(self, bucket: Bucket, theta_b: float) -> L2APIndex:
+        def build() -> L2APIndex:
+            base = theta_b if (self.use_index_reduction and 0.0 < theta_b <= 1.0) else 0.0
+            return L2APIndex(bucket.directions, base_threshold=base)
+
+        return bucket.get_index("l2ap", build)
+
+    def retrieve(
+        self,
+        bucket: Bucket,
+        query_direction: np.ndarray,
+        query_norm: float,
+        theta: float,
+        theta_b: float,
+        phi: int = 0,
+    ) -> np.ndarray:
+        if not np.isfinite(theta_b) or theta_b <= 0.0 or theta <= 0.0 or query_norm <= 0.0:
+            return self.all_candidates(bucket)
+        index = self._index(bucket, theta_b)
+        lengths = bucket.lengths
+        with np.errstate(divide="ignore"):
+            probe_thresholds = np.where(
+                lengths > 0.0, theta / (query_norm * np.where(lengths > 0.0, lengths, 1.0)), np.inf
+            )
+        lids, _ = index.candidates(query_direction, probe_thresholds)
+        return lids.astype(np.intp)

@@ -1,0 +1,39 @@
+"""LENGTH: pruning on vector lengths only (paper Section 4.1).
+
+The bucket's probes are sorted by decreasing length, so the probes that can
+possibly reach ``qᵀp >= θ`` — those with ``‖p‖ >= θ / ‖q‖`` — form a prefix of
+the bucket.  LENGTH finds the prefix boundary with one binary search and
+returns the prefix as the candidate set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bucket import Bucket
+from repro.core.retrievers.base import BucketRetriever
+
+
+class LengthRetriever(BucketRetriever):
+    """Length-based prefix pruning; degenerates to Naive inside a bucket."""
+
+    name = "LENGTH"
+
+    def retrieve(
+        self,
+        bucket: Bucket,
+        query_direction: np.ndarray,
+        query_norm: float,
+        theta: float,
+        theta_b: float,
+        phi: int = 0,
+    ) -> np.ndarray:
+        if theta <= 0.0:
+            # Every probe satisfies a non-positive threshold a priori.
+            return self.all_candidates(bucket)
+        if query_norm <= 0.0:
+            return np.empty(0, dtype=np.intp)
+        min_length = theta / query_norm
+        # Lengths are sorted in decreasing order; count how many are >= min_length.
+        cutoff = int(np.searchsorted(-bucket.lengths, -min_length, side="right"))
+        return np.arange(cutoff, dtype=np.intp)

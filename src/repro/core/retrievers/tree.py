@@ -1,0 +1,50 @@
+"""Cover tree as a bucket retrieval algorithm (LEMP-Tree, paper Section 6.3).
+
+LEMP-Tree builds one (lazily constructed) cover tree per bucket over the
+bucket's original probe vectors and uses the single-tree MIPS traversal as a
+candidate generator: every probe reached in a leaf that could not be pruned by
+the tree bound becomes a candidate.  Compared to the standalone Tree baseline
+this amortises construction over only the buckets that are actually visited.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.cover_tree import CoverTree
+from repro.baselines.tree_search import TreeSearcher
+from repro.core.bucket import Bucket
+from repro.core.retrievers.base import BucketRetriever
+
+
+class TreeBucketRetriever(BucketRetriever):
+    """Per-bucket cover-tree candidate generation."""
+
+    name = "TREE"
+
+    def __init__(self, base: float = 1.3, leaf_size: int = 10) -> None:
+        self.base = base
+        self.leaf_size = leaf_size
+
+    def _searcher(self, bucket: Bucket) -> TreeSearcher:
+        def build() -> TreeSearcher:
+            points = bucket.vectors()
+            tree = CoverTree(points, base=self.base, leaf_size=self.leaf_size)
+            return TreeSearcher(tree, points)
+
+        return bucket.get_index("cover_tree", build)
+
+    def retrieve(
+        self,
+        bucket: Bucket,
+        query_direction: np.ndarray,
+        query_norm: float,
+        theta: float,
+        theta_b: float,
+        phi: int = 0,
+    ) -> np.ndarray:
+        if not np.isfinite(theta) or theta == -np.inf:
+            return self.all_candidates(bucket)
+        searcher = self._searcher(bucket)
+        query = query_direction * query_norm
+        return searcher.evaluated_above(query, theta)

@@ -1,0 +1,70 @@
+"""Per-bucket retrieval-algorithm selection (paper Section 4.4).
+
+The Above-θ and Row-Top-k solvers ask a selector which bucket retriever (and
+which focus-set size φ) to run for a given bucket and local threshold.  Pure
+LEMP variants use a :class:`FixedSelector`; the mixed LEMP-LC / LEMP-LI
+variants use a :class:`PerBucketSelector` whose per-bucket switch point
+``t_b`` and focus-set size ``φ_b`` are chosen by the sample-based tuner.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.bucket import Bucket
+from repro.core.retrievers.base import BucketRetriever
+
+#: Focus-set size used when nothing better is known.
+DEFAULT_PHI = 3
+
+
+class RetrieverSelector(ABC):
+    """Strategy object deciding which retriever processes a bucket for a query."""
+
+    @abstractmethod
+    def select(self, bucket: Bucket, theta_b: float) -> tuple[BucketRetriever, int]:
+        """Return the retriever and focus-set size for this (bucket, θ_b) pair."""
+
+
+class FixedSelector(RetrieverSelector):
+    """Always run the same retriever, optionally with per-bucket focus sizes."""
+
+    def __init__(self, retriever: BucketRetriever, phi: int = DEFAULT_PHI, per_bucket_phi: dict | None = None) -> None:
+        self.retriever = retriever
+        self.phi = phi
+        self.per_bucket_phi = per_bucket_phi or {}
+
+    def select(self, bucket: Bucket, theta_b: float) -> tuple[BucketRetriever, int]:
+        return self.retriever, int(self.per_bucket_phi.get(bucket.index, self.phi))
+
+
+class PerBucketSelector(RetrieverSelector):
+    """LENGTH below a per-bucket threshold ``t_b``, a coordinate method above it.
+
+    ``θ_b(q) < t_b`` means the local threshold is too low for coordinate
+    pruning to pay off, so the cheap LENGTH scan is used; otherwise the
+    coordinate-based retriever runs with the bucket's tuned focus size.
+    """
+
+    def __init__(
+        self,
+        length_retriever: BucketRetriever,
+        coord_retriever: BucketRetriever,
+        switch_thresholds: dict,
+        per_bucket_phi: dict,
+        default_threshold: float = 0.0,
+        default_phi: int = DEFAULT_PHI,
+    ) -> None:
+        self.length_retriever = length_retriever
+        self.coord_retriever = coord_retriever
+        self.switch_thresholds = switch_thresholds
+        self.per_bucket_phi = per_bucket_phi
+        self.default_threshold = default_threshold
+        self.default_phi = default_phi
+
+    def select(self, bucket: Bucket, theta_b: float) -> tuple[BucketRetriever, int]:
+        switch = self.switch_thresholds.get(bucket.index, self.default_threshold)
+        phi = int(self.per_bucket_phi.get(bucket.index, self.default_phi))
+        if theta_b < switch:
+            return self.length_retriever, phi
+        return self.coord_retriever, phi

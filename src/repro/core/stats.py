@@ -1,0 +1,65 @@
+"""Runtime statistics collected by every retriever.
+
+The paper's evaluation reports, besides wall-clock time, the average number of
+*candidates per query* (the pruning power of each method) and the split
+between preprocessing/tuning and retrieval time.  :class:`RunStats` captures
+exactly these quantities so the benchmark harness can print paper-style rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunStats:
+    """Counters and timings accumulated during one retrieval run."""
+
+    num_queries: int = 0
+    candidates: int = 0
+    results: int = 0
+    inner_products: int = 0
+    buckets_examined: int = 0
+    buckets_pruned: int = 0
+    preprocessing_seconds: float = 0.0
+    tuning_seconds: float = 0.0
+    retrieval_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def candidates_per_query(self) -> float:
+        """Average size of the verified candidate set per query (paper ``|C|/q``)."""
+        if self.num_queries == 0:
+            return 0.0
+        return self.candidates / self.num_queries
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time: preprocessing + tuning + retrieval."""
+        return self.preprocessing_seconds + self.tuning_seconds + self.retrieval_seconds
+
+    def merge(self, other: "RunStats") -> "RunStats":
+        """Accumulate another run's counters into this one and return ``self``."""
+        self.num_queries += other.num_queries
+        self.candidates += other.candidates
+        self.results += other.results
+        self.inner_products += other.inner_products
+        self.buckets_examined += other.buckets_examined
+        self.buckets_pruned += other.buckets_pruned
+        self.preprocessing_seconds += other.preprocessing_seconds
+        self.tuning_seconds += other.tuning_seconds
+        self.retrieval_seconds += other.retrieval_seconds
+        return self
+
+    def reset(self) -> None:
+        """Zero all counters and timings."""
+        self.num_queries = 0
+        self.candidates = 0
+        self.results = 0
+        self.inner_products = 0
+        self.buckets_examined = 0
+        self.buckets_pruned = 0
+        self.preprocessing_seconds = 0.0
+        self.tuning_seconds = 0.0
+        self.retrieval_seconds = 0.0
+        self.extra = {}

@@ -1,0 +1,87 @@
+"""Row-Top-k solver (paper Section 4.5).
+
+For every query the solver walks the buckets in order of decreasing maximum
+length, maintaining a running lower bound θ′ on the final k-th largest inner
+product.  Each bucket is processed with the Above-θ machinery at threshold θ′
+(query length fixed to 1, which does not change the ranking); the verified
+scores tighten θ′, and as soon as a bucket's longest vector falls below θ′ the
+remaining buckets are pruned wholesale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bucket import Bucket
+from repro.core.selector import RetrieverSelector
+from repro.core.stats import RunStats
+from repro.core.thresholds import local_threshold
+from repro.core.vector_store import PreparedQueries
+
+
+def solve_row_top_k(
+    queries: PreparedQueries,
+    buckets: list[Bucket],
+    k: int,
+    selector: RetrieverSelector,
+    stats: RunStats,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Retrieve the k largest inner products for every query row.
+
+    Returns ``(indices, scores)`` arrays of shape ``(num_queries, k)`` indexed
+    by *original* query id, padded with -1 / -inf where fewer than ``k`` probes
+    exist.
+    """
+    num_probes = sum(bucket.size for bucket in buckets)
+    effective_k = min(k, num_probes)
+    indices = np.full((queries.size, k), -1, dtype=np.int64)
+    scores = np.full((queries.size, k), -np.inf)
+
+    for position in range(queries.size):
+        query_direction = queries.directions[position]
+        original_id = int(queries.ids[position])
+
+        top_ids = np.empty(0, dtype=np.int64)
+        top_scores = np.empty(0)
+        theta_prime = -np.inf
+
+        for bucket in buckets:
+            theta_b = local_threshold(theta_prime, 1.0, bucket.max_length)
+            if theta_b > 1.0:
+                # Buckets are ordered by decreasing length: every later bucket
+                # is pruned as well.
+                stats.buckets_pruned += 1
+                break
+            stats.buckets_examined += 1
+
+            retriever, phi = selector.select(bucket, theta_b)
+            candidates = retriever.retrieve(
+                bucket, query_direction, 1.0, theta_prime, theta_b, phi
+            )
+            stats.candidates += int(candidates.size)
+            if candidates.size == 0:
+                continue
+            cosines = bucket.directions[candidates] @ query_direction
+            candidate_scores = cosines * bucket.lengths[candidates]
+            stats.inner_products += int(candidates.size)
+
+            merged_scores = np.concatenate([top_scores, candidate_scores])
+            merged_ids = np.concatenate([top_ids, bucket.ids[candidates].astype(np.int64)])
+            if merged_scores.size > effective_k:
+                keep = np.argpartition(-merged_scores, effective_k - 1)[:effective_k]
+                merged_scores = merged_scores[keep]
+                merged_ids = merged_ids[keep]
+            top_scores = merged_scores
+            top_ids = merged_ids
+            if top_scores.size >= effective_k:
+                theta_prime = float(top_scores.min())
+
+        if top_scores.size:
+            order = np.argsort(-top_scores, kind="stable")
+            count = min(effective_k, order.size)
+            indices[original_id, :count] = top_ids[order[:count]]
+            # Ranking was computed against the normalised query (Section 4.5);
+            # report the true inner products by scaling back with ‖q‖.
+            scores[original_id, :count] = top_scores[order[:count]] * queries.norms[position]
+
+    return indices, scores

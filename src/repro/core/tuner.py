@@ -1,0 +1,185 @@
+"""Sample-based per-bucket parameter tuning (paper Section 4.4).
+
+LEMP chooses, for every bucket, (i) the focus-set size ``φ_b`` of the
+coordinate-based retriever and (ii) the local-threshold switch point ``t_b``
+below which the cheap LENGTH scan is used instead.  Both choices are made
+empirically: a small sample of query vectors is run against the bucket with
+every configuration, the wall-clock cost of candidate generation plus
+verification is measured, and the cheapest configuration wins.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bucket import Bucket
+from repro.core.retrievers.base import BucketRetriever
+from repro.core.thresholds import local_threshold
+from repro.core.vector_store import PreparedQueries
+from repro.utils.rng import ensure_rng
+
+#: Focus-set sizes evaluated by the tuner (the paper uses values 1–5).
+DEFAULT_PHI_GRID = (1, 2, 3, 4, 5)
+
+#: Number of sample queries per tuning run.
+DEFAULT_SAMPLE_SIZE = 20
+
+
+@dataclass
+class TuningResult:
+    """Per-bucket parameters selected by the tuner."""
+
+    switch_thresholds: dict = field(default_factory=dict)
+    per_bucket_phi: dict = field(default_factory=dict)
+    seconds: float = 0.0
+
+
+def _timed_retrieve(
+    retriever: BucketRetriever,
+    bucket: Bucket,
+    query_direction: np.ndarray,
+    query_norm: float,
+    theta: float,
+    theta_b: float,
+    phi: int,
+) -> float:
+    """Wall-clock cost of candidate generation plus exact verification."""
+    started = time.perf_counter()
+    candidates = retriever.retrieve(bucket, query_direction, query_norm, theta, theta_b, phi)
+    if candidates.size:
+        cosines = bucket.directions[candidates] @ query_direction
+        _ = cosines * (query_norm * bucket.lengths[candidates])
+    return time.perf_counter() - started
+
+
+def tune_phi(
+    buckets: list[Bucket],
+    queries: PreparedQueries,
+    query_thetas: np.ndarray,
+    coord_retriever: BucketRetriever,
+    phi_grid=DEFAULT_PHI_GRID,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed=0,
+) -> TuningResult:
+    """Choose a per-bucket focus-set size for a pure coordinate-based retriever."""
+    return _tune(
+        buckets,
+        queries,
+        query_thetas,
+        length_retriever=None,
+        coord_retriever=coord_retriever,
+        phi_grid=phi_grid,
+        sample_size=sample_size,
+        seed=seed,
+    )
+
+
+def tune_mixed(
+    buckets: list[Bucket],
+    queries: PreparedQueries,
+    query_thetas: np.ndarray,
+    length_retriever: BucketRetriever,
+    coord_retriever: BucketRetriever,
+    phi_grid=DEFAULT_PHI_GRID,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed=0,
+) -> TuningResult:
+    """Choose per-bucket ``t_b`` and ``φ_b`` for a mixed LENGTH/coordinate method."""
+    return _tune(
+        buckets,
+        queries,
+        query_thetas,
+        length_retriever=length_retriever,
+        coord_retriever=coord_retriever,
+        phi_grid=phi_grid,
+        sample_size=sample_size,
+        seed=seed,
+    )
+
+
+def _tune(
+    buckets,
+    queries,
+    query_thetas,
+    length_retriever,
+    coord_retriever,
+    phi_grid,
+    sample_size,
+    seed,
+) -> TuningResult:
+    rng = ensure_rng(seed)
+    result = TuningResult()
+    started = time.perf_counter()
+
+    query_thetas = np.asarray(query_thetas, dtype=np.float64)
+    if query_thetas.ndim == 0:
+        query_thetas = np.full(queries.size, float(query_thetas))
+    if queries.size == 0:
+        result.seconds = time.perf_counter() - started
+        return result
+
+    sample_count = min(sample_size, queries.size)
+    sample_positions = rng.choice(queries.size, size=sample_count, replace=False)
+
+    for bucket in buckets:
+        # Collect the sampled queries that are not pruned for this bucket.
+        active = []
+        for position in sample_positions:
+            theta = float(query_thetas[position])
+            theta_b = local_threshold(theta, float(queries.norms[position]), bucket.max_length)
+            if theta_b <= 1.0:
+                active.append((int(position), theta, theta_b))
+        if not active:
+            continue
+
+        coord_costs = {}
+        for phi in phi_grid:
+            total = 0.0
+            for position, theta, theta_b in active:
+                total += _timed_retrieve(
+                    coord_retriever,
+                    bucket,
+                    queries.directions[position],
+                    float(queries.norms[position]),
+                    theta,
+                    theta_b,
+                    phi,
+                )
+            coord_costs[phi] = total
+        best_phi = min(coord_costs, key=coord_costs.get)
+        result.per_bucket_phi[bucket.index] = int(best_phi)
+
+        if length_retriever is None:
+            continue
+
+        length_times = {}
+        coord_times = {}
+        for position, theta, theta_b in active:
+            direction = queries.directions[position]
+            norm = float(queries.norms[position])
+            length_times[position] = _timed_retrieve(
+                length_retriever, bucket, direction, norm, theta, theta_b, best_phi
+            )
+            coord_times[position] = _timed_retrieve(
+                coord_retriever, bucket, direction, norm, theta, theta_b, best_phi
+            )
+
+        # Candidate switch points: below t_b LENGTH runs, at or above it the
+        # coordinate method runs.  Evaluate the sample cost of each candidate.
+        theta_bs = sorted({theta_b for _, _, theta_b in active})
+        candidates = [0.0] + theta_bs + [1.01]
+        best_threshold, best_cost = 0.0, np.inf
+        for switch in candidates:
+            cost = 0.0
+            for position, _, theta_b in active:
+                cost += length_times[position] if theta_b < switch else coord_times[position]
+            if cost < best_cost:
+                best_cost = cost
+                best_threshold = switch
+        result.switch_thresholds[bucket.index] = float(best_threshold)
+
+    result.seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,99 @@
+"""Length/direction decomposition of a set of vectors (paper Section 3.1).
+
+LEMP represents every probe (and query) vector ``v`` by its Euclidean length
+``\\|v\\|`` and its direction ``v / \\|v\\|``.  The :class:`VectorStore` holds a
+whole matrix of vectors in this decomposed form, sorted by decreasing length,
+together with the mapping back to the original row identifiers (the paper's
+``id`` column in Fig. 4a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_float_matrix
+
+
+class VectorStore:
+    """Vectors stored as (length, direction) pairs sorted by decreasing length.
+
+    Parameters
+    ----------
+    vectors:
+        Array of shape ``(num_vectors, rank)``; rows are vectors.  This is the
+        transpose of the paper's column-major factor matrices.
+
+    Attributes
+    ----------
+    lengths:
+        ``(num_vectors,)`` Euclidean norms, sorted in decreasing order.
+    directions:
+        ``(num_vectors, rank)`` unit vectors in the same order.  Zero vectors
+        keep an all-zero direction.
+    ids:
+        ``(num_vectors,)`` original row index of each stored vector.
+    """
+
+    def __init__(self, vectors) -> None:
+        matrix = as_float_matrix(vectors, "vectors")
+        lengths = np.linalg.norm(matrix, axis=1)
+        # Stable sort keeps ties in original order, which makes the layout
+        # deterministic and easy to test.
+        order = np.argsort(-lengths, kind="stable")
+        self.ids = order
+        self.lengths = np.ascontiguousarray(lengths[order])
+        sorted_vectors = matrix[order]
+        safe_lengths = np.where(self.lengths > 0.0, self.lengths, 1.0)
+        self.directions = np.ascontiguousarray(sorted_vectors / safe_lengths[:, None])
+        self.rank = matrix.shape[1]
+        self.size = matrix.shape[0]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def vector(self, position: int) -> np.ndarray:
+        """Reconstruct the original (unnormalised) vector stored at ``position``."""
+        return self.directions[position] * self.lengths[position]
+
+    def vectors(self, start: int = 0, end: int | None = None) -> np.ndarray:
+        """Reconstruct the original vectors for positions ``[start, end)``."""
+        if end is None:
+            end = self.size
+        return self.directions[start:end] * self.lengths[start:end, None]
+
+
+class PreparedQueries:
+    """Query matrix pre-processed the same way as the probe store.
+
+    Queries are normalised and sorted by decreasing length (paper footnote 1),
+    which lets the Above-θ solver prune whole query ranges per bucket with a
+    single vectorised comparison.
+    """
+
+    def __init__(self, queries) -> None:
+        matrix = as_float_matrix(queries, "queries")
+        lengths = np.linalg.norm(matrix, axis=1)
+        order = np.argsort(-lengths, kind="stable")
+        self.ids = order
+        self.norms = np.ascontiguousarray(lengths[order])
+        sorted_queries = matrix[order]
+        safe = np.where(self.norms > 0.0, self.norms, 1.0)
+        self.directions = np.ascontiguousarray(sorted_queries / safe[:, None])
+        self.rank = matrix.shape[1]
+        self.size = matrix.shape[0]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def focus_coordinates(self, position: int, phi: int) -> np.ndarray:
+        """Return the ``phi`` coordinates of query ``position`` with largest ``|q̄_f|``.
+
+        These are the focus coordinates used by COORD/INCR (Section 4.2): large
+        query coordinates produce the tightest feasible regions.
+        """
+        direction = self.directions[position]
+        phi = min(phi, self.rank)
+        if phi >= self.rank:
+            return np.argsort(-np.abs(direction), kind="stable")
+        top = np.argpartition(-np.abs(direction), phi - 1)[:phi]
+        return top[np.argsort(-np.abs(direction[top]), kind="stable")]

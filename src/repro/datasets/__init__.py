@@ -1,0 +1,32 @@
+"""Synthetic datasets matching the structural statistics of the paper's data.
+
+The original evaluation uses factor matrices derived from Netflix, KDD-Cup'11
+(Yahoo! Music) and a New-York-Times open-IE corpus.  Those datasets are not
+redistributable, so this package generates synthetic stand-ins whose rank,
+shape ratio, length skew (coefficient of variation) and sparsity match Table 1
+of the paper at a reduced scale — either by direct construction
+(``method="direct"``) or by actually factorising synthetic interaction data
+with the MF substrate (``method="model"``).
+"""
+
+from repro.datasets.openie import generate_fact_matrix, ie_nmf_like, ie_svd_like
+from repro.datasets.recommender import generate_ratings, kdd_like, netflix_like
+from repro.datasets.registry import DATASET_NAMES, Dataset, load_dataset
+from repro.datasets.stats import dataset_statistics, fraction_nonzero, length_cov
+from repro.datasets.synthetic import synthetic_factors
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "dataset_statistics",
+    "fraction_nonzero",
+    "generate_fact_matrix",
+    "generate_ratings",
+    "ie_nmf_like",
+    "ie_svd_like",
+    "kdd_like",
+    "length_cov",
+    "load_dataset",
+    "netflix_like",
+    "synthetic_factors",
+]

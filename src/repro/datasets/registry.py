@@ -1,0 +1,106 @@
+"""Named dataset registry mirroring the paper's Table 1 at reduced scale.
+
+Every dataset of the evaluation is available under its paper name (lower-case)
+plus the transposed variants used for Row-Top-k on the IE data:
+
+``ie-svd``, ``ie-nmf``, ``ie-svd-t``, ``ie-nmf-t``, ``netflix``, ``kdd``.
+
+Sizes are scaled down so that the pure-Python benchmark harness finishes in
+minutes; the ``scale`` parameter selects how far ("tiny" for tests, "small"
+for the default benchmarks, "medium" for a longer run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.openie import ie_nmf_like, ie_svd_like
+from repro.datasets.recommender import kdd_like, netflix_like
+from repro.exceptions import UnknownDatasetError
+
+#: Multiplicative factors applied to the base (small) dataset sizes.
+SCALES = {"tiny": 0.25, "small": 1.0, "medium": 2.5}
+
+#: Base sizes (num_queries, num_probes) at scale "small".
+_BASE_SIZES = {
+    "ie-svd": (2000, 500),
+    "ie-nmf": (2000, 500),
+    "netflix": (1500, 400),
+    "kdd": (2000, 1200),
+}
+
+DATASET_NAMES = ("ie-svd", "ie-nmf", "ie-svd-t", "ie-nmf-t", "netflix", "kdd")
+
+
+@dataclass
+class Dataset:
+    """A named pair of query and probe factor matrices."""
+
+    name: str
+    queries: np.ndarray
+    probes: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def rank(self) -> int:
+        """Number of latent factors."""
+        return int(self.queries.shape[1])
+
+    def transposed(self) -> "Dataset":
+        """Swap the roles of queries and probes (the paper's ᵀ datasets)."""
+        name = self.name[:-2] if self.name.endswith("-t") else self.name + "-t"
+        return Dataset(name, self.probes, self.queries, dict(self.metadata))
+
+
+def _scaled(size: int, scale_factor: float) -> int:
+    return max(50, int(round(size * scale_factor)))
+
+
+def load_dataset(name: str, scale: str = "small", rank: int = 50, method: str = "direct", seed: int = 0) -> Dataset:
+    """Load one of the named synthetic datasets.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES` (case-insensitive).
+    scale:
+        ``"tiny"``, ``"small"`` or ``"medium"`` — see :data:`SCALES`.
+    rank:
+        Number of latent factors (the paper uses 50 throughout).
+    method:
+        ``"direct"`` for fast statistics-matched generation, ``"model"`` /
+        ``"als"`` / ``"sgd"`` to actually factorise synthetic interaction data.
+    seed:
+        Random seed for generation.
+    """
+    key = name.lower()
+    if key not in DATASET_NAMES:
+        raise UnknownDatasetError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+    if scale not in SCALES:
+        raise UnknownDatasetError(f"unknown scale {scale!r}; expected one of {tuple(SCALES)}")
+    scale_factor = SCALES[scale]
+
+    transposed = key.endswith("-t")
+    base_key = key[:-2] if transposed else key
+    num_queries, num_probes = (_scaled(size, scale_factor) for size in _BASE_SIZES[base_key])
+
+    if base_key == "ie-svd":
+        generation_method = method if method in {"direct", "model"} else "model"
+        queries, probes = ie_svd_like(num_queries, num_probes, rank, generation_method, seed)
+    elif base_key == "ie-nmf":
+        generation_method = method if method in {"direct", "model"} else "model"
+        queries, probes = ie_nmf_like(num_queries, num_probes, rank, generation_method, seed)
+    elif base_key == "netflix":
+        queries, probes = netflix_like(num_queries, num_probes, rank, method, seed)
+    else:
+        queries, probes = kdd_like(num_queries, num_probes, rank, method, seed)
+
+    dataset = Dataset(
+        base_key,
+        np.asarray(queries, dtype=np.float64),
+        np.asarray(probes, dtype=np.float64),
+        {"scale": scale, "method": method, "seed": seed, "rank": rank},
+    )
+    return dataset.transposed() if transposed else dataset

@@ -1,0 +1,38 @@
+"""Dataset statistics reported in Table 1 of the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_float_matrix
+
+
+def length_cov(matrix) -> float:
+    """Coefficient of variation (std / mean) of the row lengths of a matrix."""
+    matrix = as_float_matrix(matrix, "matrix")
+    lengths = np.linalg.norm(matrix, axis=1)
+    mean = float(lengths.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(lengths.std() / mean)
+
+
+def fraction_nonzero(matrix) -> float:
+    """Fraction of non-zero entries of a matrix (1.0 = fully dense)."""
+    matrix = as_float_matrix(matrix, "matrix")
+    if matrix.size == 0:
+        return 0.0
+    return float(np.count_nonzero(matrix) / matrix.size)
+
+
+def dataset_statistics(dataset) -> dict:
+    """Table-1-style statistics for a :class:`~repro.datasets.registry.Dataset`."""
+    return {
+        "name": dataset.name,
+        "num_queries": dataset.queries.shape[0],
+        "num_probes": dataset.probes.shape[0],
+        "rank": dataset.queries.shape[1],
+        "query_length_cov": length_cov(dataset.queries),
+        "probe_length_cov": length_cov(dataset.probes),
+        "fraction_nonzero": fraction_nonzero(np.vstack([dataset.queries, dataset.probes])),
+    }

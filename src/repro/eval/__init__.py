@@ -1,0 +1,15 @@
+"""Evaluation harness regenerating the paper's tables and figures."""
+
+from repro.eval.harness import ExperimentResult, make_retriever, run_above_theta, run_row_top_k
+from repro.eval.recall import theta_for_result_count
+from repro.eval.reporting import format_speedup, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "format_speedup",
+    "format_table",
+    "make_retriever",
+    "run_above_theta",
+    "run_row_top_k",
+    "theta_for_result_count",
+]

@@ -1,0 +1,52 @@
+"""Threshold selection for the paper's "recall level" experiments.
+
+The Above-θ experiments pick θ such that the result set contains the top-10³,
+10⁴, … entries of the whole product matrix.  At reproduction scale the product
+can be computed block-wise exactly, so the threshold is simply the ``count``-th
+largest entry of ``Q Pᵀ``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_float_matrix, check_rank_match, require_positive_int
+
+
+def theta_for_result_count(queries, probes, count: int, block_size: int = 512) -> float:
+    """Value of the ``count``-th largest entry of the product matrix.
+
+    Retrieving with ``theta`` equal to the returned value yields at least
+    ``count`` results (more when ties exist at the threshold).
+    """
+    queries = as_float_matrix(queries, "queries")
+    probes = as_float_matrix(probes, "probes")
+    check_rank_match(queries, probes)
+    require_positive_int(count, "count")
+    total_entries = queries.shape[0] * probes.shape[0]
+    if count > total_entries:
+        raise ValueError(
+            f"count={count} exceeds the number of product entries ({total_entries})"
+        )
+
+    # Keep a running buffer of the largest values seen so far; each block can
+    # contribute at most `count` of them.
+    running = np.empty(0)
+    for start in range(0, queries.shape[0], block_size):
+        block = queries[start:start + block_size] @ probes.T
+        flat = block.ravel()
+        if flat.size > count:
+            flat = np.partition(flat, flat.size - count)[-count:]
+        running = np.concatenate([running, flat])
+        if running.size > count:
+            running = np.partition(running, running.size - count)[-count:]
+    return float(np.partition(running, running.size - count)[-count])
+
+
+def recall_levels_for(num_queries: int, num_probes: int, levels=(10**3, 10**4, 10**5)) -> list[int]:
+    """Filter the requested recall levels down to those the instance can support."""
+    total = num_queries * num_probes
+    usable = [level for level in levels if level <= total]
+    if not usable:
+        usable = [max(1, total // 10)]
+    return usable

@@ -1,0 +1,34 @@
+"""Plain-text formatting of paper-style result tables."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Render rows as a fixed-width text table with a header rule."""
+    columns = len(headers)
+    normalised_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in normalised_rows:
+        for index in range(min(columns, len(row))):
+            widths[index] = max(widths[index], len(row[index]))
+
+    def render(values: list[str]) -> str:
+        padded = [value.ljust(widths[index]) for index, value in enumerate(values)]
+        return "  ".join(padded)
+
+    lines = [render(headers), render(["-" * width for width in widths])]
+    lines.extend(render(row) for row in normalised_rows)
+    return "\n".join(lines)
+
+
+def format_speedup(baseline_seconds: float, method_seconds: float) -> str:
+    """Human-readable speedup factor of a method over a baseline."""
+    if method_seconds <= 0.0:
+        return "inf"
+    return f"{baseline_seconds / method_seconds:.1f}x"
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

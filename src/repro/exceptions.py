@@ -1,0 +1,25 @@
+"""Exception hierarchy for the LEMP reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A scalar or array parameter has an invalid value, shape, or type."""
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Two matrices that must agree on rank (or shape) do not."""
+
+
+class NotPreparedError(ReproError, RuntimeError):
+    """A retriever method was called before :meth:`prepare` indexed the probes."""
+
+
+class UnknownAlgorithmError(ReproError, KeyError):
+    """An algorithm name passed to a factory is not registered."""
+
+
+class UnknownDatasetError(ReproError, KeyError):
+    """A dataset name passed to the registry is not registered."""

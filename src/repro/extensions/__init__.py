@@ -1,0 +1,17 @@
+"""Extensions beyond the core LEMP algorithm.
+
+The paper points out (Section 5, related work) that approximate schemes such
+as clustering the query vectors and solving Row-Top-k only for the cluster
+centroids "can directly be applied in combination with LEMP".  This package
+implements that extension:
+
+* :mod:`repro.extensions.kmeans` — a small spherical k-means substrate;
+* :mod:`repro.extensions.clustered` — :class:`ClusteredTopK`, which answers
+  Row-Top-k approximately by querying LEMP with centroids and sharing the
+  retrieved candidate pool among the cluster's members.
+"""
+
+from repro.extensions.clustered import ClusteredTopK
+from repro.extensions.kmeans import kmeans
+
+__all__ = ["ClusteredTopK", "kmeans"]

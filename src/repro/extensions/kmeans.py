@@ -1,0 +1,72 @@
+"""Spherical k-means over query directions.
+
+Used by the clustered Row-Top-k extension: queries whose *directions* are
+similar rank the probes similarly, so clustering by cosine similarity (i.e.
+k-means on the unit sphere) groups queries that can share retrieval work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import as_float_matrix, require_positive_int
+
+
+def kmeans(
+    vectors,
+    num_clusters: int,
+    num_iterations: int = 20,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Spherical k-means: cluster unit directions by cosine similarity.
+
+    Parameters
+    ----------
+    vectors:
+        ``(num_vectors, rank)`` array; rows are (not necessarily unit) vectors.
+        Clustering operates on their directions.
+    num_clusters:
+        Number of centroids; capped at the number of vectors.
+    num_iterations:
+        Maximum Lloyd iterations (stops early on convergence).
+    seed:
+        Seed or generator for the centroid initialisation.
+
+    Returns
+    -------
+    (centroids, assignment):
+        ``centroids`` is ``(num_clusters, rank)`` with unit rows;
+        ``assignment[i]`` is the centroid index of vector ``i``.
+    """
+    matrix = as_float_matrix(vectors, "vectors")
+    require_positive_int(num_clusters, "num_clusters")
+    require_positive_int(num_iterations, "num_iterations")
+    rng = ensure_rng(seed)
+
+    norms = np.linalg.norm(matrix, axis=1)
+    directions = matrix / np.where(norms > 0.0, norms, 1.0)[:, None]
+    num_vectors = directions.shape[0]
+    num_clusters = min(num_clusters, num_vectors)
+
+    chosen = rng.choice(num_vectors, size=num_clusters, replace=False)
+    centroids = directions[chosen].copy()
+    assignment = np.zeros(num_vectors, dtype=np.intp)
+
+    for iteration in range(num_iterations):
+        similarities = directions @ centroids.T
+        new_assignment = np.argmax(similarities, axis=1)
+        if iteration > 0 and np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+        for cluster in range(num_clusters):
+            members = directions[assignment == cluster]
+            if members.shape[0] == 0:
+                # Re-seed an empty cluster with the vector farthest from its centroid.
+                worst = int(np.argmin(np.max(similarities, axis=1)))
+                centroids[cluster] = directions[worst]
+                continue
+            mean = members.mean(axis=0)
+            norm = np.linalg.norm(mean)
+            centroids[cluster] = mean / norm if norm > 0.0 else members[0]
+    return centroids, assignment

@@ -1,0 +1,20 @@
+"""Matrix-factorisation substrate.
+
+The paper's input matrices are factor matrices produced by latent-factor
+models (SGD/ALS matrix factorisation for the recommender datasets, SVD and NMF
+for the open-information-extraction dataset).  This package implements those
+models from scratch so the reproduction can generate its own factor matrices
+from synthetic interaction data.
+"""
+
+from repro.mf.als import als_factorize
+from repro.mf.nmf import nmf_factorize
+from repro.mf.sgd import sgd_factorize
+from repro.mf.svd import truncated_svd_factorize
+
+__all__ = [
+    "als_factorize",
+    "nmf_factorize",
+    "sgd_factorize",
+    "truncated_svd_factorize",
+]

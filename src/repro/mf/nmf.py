@@ -1,0 +1,68 @@
+"""Non-negative matrix factorisation with multiplicative updates.
+
+Used to produce the IE-NMF-like factor matrices: NMF of a binary
+argument-pattern matrix yields non-negative, fairly sparse factors whose
+length distribution is heavily skewed — exactly the structural properties the
+paper reports for its IE-NMF dataset (high CoV, ~36% non-zeros).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import as_float_matrix, require_positive_int
+
+#: Numerical floor preventing divisions by zero inside the update rules.
+_EPSILON = 1e-12
+
+
+def nmf_factorize(
+    matrix,
+    rank: int = 50,
+    num_iterations: int = 100,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray, list[float]]:
+    """Factorise a non-negative matrix as ``W @ H`` with Lee–Seung updates.
+
+    Parameters
+    ----------
+    matrix:
+        Dense non-negative matrix of shape ``(num_rows, num_cols)``.
+    rank:
+        Number of latent components.
+    num_iterations:
+        Number of multiplicative update sweeps.
+    seed:
+        Seed or generator for the random non-negative initialisation.
+
+    Returns
+    -------
+    (W, H, losses):
+        ``W`` is ``(num_rows, rank)``, ``H`` is ``(rank, num_cols)``, and
+        ``losses`` holds the Frobenius reconstruction error per iteration.
+    """
+    matrix = as_float_matrix(matrix, "matrix")
+    if np.any(matrix < 0.0):
+        raise ValueError("NMF requires a non-negative input matrix")
+    require_positive_int(rank, "rank")
+    require_positive_int(num_iterations, "num_iterations")
+    rng = ensure_rng(seed)
+
+    num_rows, num_cols = matrix.shape
+    scale = np.sqrt(matrix.mean() / rank) if matrix.size else 1.0
+    w = rng.random((num_rows, rank)) * scale + _EPSILON
+    h = rng.random((rank, num_cols)) * scale + _EPSILON
+
+    losses: list[float] = []
+    for _ in range(num_iterations):
+        # H <- H * (WᵀV) / (WᵀWH)
+        numerator = w.T @ matrix
+        denominator = (w.T @ w) @ h + _EPSILON
+        h *= numerator / denominator
+        # W <- W * (VHᵀ) / (WHHᵀ)
+        numerator = matrix @ h.T
+        denominator = w @ (h @ h.T) + _EPSILON
+        w *= numerator / denominator
+        losses.append(float(np.linalg.norm(matrix - w @ h)))
+    return w, h, losses

@@ -1,0 +1,27 @@
+"""Cosine-similarity-search substrate used by LEMP's bucket retrievers.
+
+This package implements, from scratch, the similarity-search building blocks
+the paper relies on or compares against inside buckets:
+
+* exact cosine search helpers (:mod:`repro.similarity.cosine`),
+* an L2AP-style prefix-L2-norm all-pairs similarity index
+  (:mod:`repro.similarity.l2ap`),
+* signed-random-projection LSH signatures (:mod:`repro.similarity.lsh`), and
+* the BayesLSH-Lite minimum-match candidate filter
+  (:mod:`repro.similarity.bayes_lsh`).
+"""
+
+from repro.similarity.bayes_lsh import BayesLshFilter, minimum_matches
+from repro.similarity.cosine import cosine_search, cosine_similarity_matrix
+from repro.similarity.l2ap import L2APIndex
+from repro.similarity.lsh import RandomProjectionSignatures, collision_probability
+
+__all__ = [
+    "BayesLshFilter",
+    "L2APIndex",
+    "RandomProjectionSignatures",
+    "collision_probability",
+    "cosine_search",
+    "cosine_similarity_matrix",
+    "minimum_matches",
+]

@@ -1,0 +1,75 @@
+"""BayesLSH-Lite style candidate pruning (paper reference [19]).
+
+BayesLSH-Lite compares LSH signatures of a candidate pair and discards the
+pair if the number of matching bits falls below a precomputed minimum ``m*``.
+``m*`` is chosen so that a pair whose true cosine similarity is *at least* the
+similarity threshold is discarded with probability at most the configured
+false-negative rate (0.03 in the paper).  As in the paper, the threshold used
+to precompute ``m*`` is the smallest local threshold the bucket will ever see,
+which limits the filter's pruning power — exactly the behaviour the evaluation
+observes for LEMP-BLSH.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.similarity.lsh import RandomProjectionSignatures, collision_probability
+from repro.utils.validation import require_positive_int
+
+
+def minimum_matches(num_bits: int, cosine_threshold: float, false_negative_rate: float) -> int:
+    """Minimum number of matching bits a pair at the threshold must reach.
+
+    Computed as the ``false_negative_rate`` quantile of a binomial with
+    ``num_bits`` trials and per-bit collision probability at the threshold:
+    a true-positive pair falls below this count with probability at most the
+    false-negative rate.
+    """
+    require_positive_int(num_bits, "num_bits")
+    if not 0.0 < false_negative_rate < 1.0:
+        raise ValueError(f"false_negative_rate must be in (0, 1), got {false_negative_rate}")
+    if cosine_threshold <= -1.0:
+        return 0
+    probability = float(collision_probability(min(cosine_threshold, 1.0)))
+    quantile = stats.binom.ppf(false_negative_rate, num_bits, probability)
+    if not np.isfinite(quantile):
+        return 0
+    return int(max(0, quantile))
+
+
+class BayesLshFilter:
+    """Signature-based candidate filter over a fixed set of unit vectors."""
+
+    def __init__(
+        self,
+        directions: np.ndarray,
+        num_bits: int = 32,
+        false_negative_rate: float = 0.03,
+        seed=None,
+    ) -> None:
+        directions = np.asarray(directions, dtype=np.float64)
+        self.num_bits = num_bits
+        self.false_negative_rate = false_negative_rate
+        self._signer = RandomProjectionSignatures(directions.shape[1], num_bits, seed)
+        self._signatures = self._signer.sign(directions)
+
+    def prune(
+        self,
+        query_direction: np.ndarray,
+        candidate_lids: np.ndarray,
+        cosine_threshold: float,
+    ) -> np.ndarray:
+        """Return the subset of ``candidate_lids`` passing the minimum-match test."""
+        candidate_lids = np.asarray(candidate_lids, dtype=np.intp)
+        if candidate_lids.size == 0:
+            return candidate_lids
+        required = minimum_matches(self.num_bits, cosine_threshold, self.false_negative_rate)
+        if required <= 0:
+            return candidate_lids
+        query_signature = self._signer.sign(query_direction)[0]
+        matches = RandomProjectionSignatures.matching_bits(
+            query_signature, self._signatures[candidate_lids]
+        )
+        return candidate_lids[matches >= required]

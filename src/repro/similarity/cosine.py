@@ -1,0 +1,41 @@
+"""Exact cosine-similarity search helpers.
+
+These are the straightforward dense routines the bucket retrievers fall back
+to for verification, and the reference implementation the property-based tests
+compare every pruning algorithm against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_float_matrix, check_rank_match
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Return a copy of ``matrix`` with unit-length rows (zero rows stay zero)."""
+    matrix = as_float_matrix(matrix, "matrix")
+    norms = np.linalg.norm(matrix, axis=1)
+    safe = np.where(norms > 0.0, norms, 1.0)
+    return matrix / safe[:, None]
+
+
+def cosine_similarity_matrix(left, right) -> np.ndarray:
+    """Dense matrix of cosine similarities between the rows of two matrices."""
+    left = as_float_matrix(left, "left")
+    right = as_float_matrix(right, "right")
+    check_rank_match(left, right)
+    return normalize_rows(left) @ normalize_rows(right).T
+
+
+def cosine_search(query_direction, directions, threshold: float) -> tuple[np.ndarray, np.ndarray]:
+    """Exact cosine search of one unit query against unit ``directions``.
+
+    Returns the indices and cosine values of all rows whose cosine similarity
+    with the query is at least ``threshold``.
+    """
+    query_direction = np.asarray(query_direction, dtype=np.float64)
+    directions = np.asarray(directions, dtype=np.float64)
+    cosines = directions @ query_direction
+    hits = np.nonzero(cosines >= threshold)[0]
+    return hits, cosines[hits]

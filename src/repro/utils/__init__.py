@@ -1,0 +1,19 @@
+"""Small shared helpers: validation, timing, and RNG handling."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    as_float_matrix,
+    check_rank_match,
+    require_positive,
+    require_positive_int,
+)
+
+__all__ = [
+    "Timer",
+    "as_float_matrix",
+    "check_rank_match",
+    "ensure_rng",
+    "require_positive",
+    "require_positive_int",
+]

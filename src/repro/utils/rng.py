@@ -1,0 +1,25 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library (dataset generators, SGD, LSH
+signatures, the sample-based tuner) accepts either a seed, an existing
+``numpy.random.Generator``, or ``None``, and converts it with
+:func:`ensure_rng` so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(seed_or_rng=None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed_or_rng``.
+
+    Parameters
+    ----------
+    seed_or_rng:
+        ``None`` (fresh non-deterministic generator), an integer seed, or an
+        existing :class:`numpy.random.Generator` (returned unchanged).
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)

@@ -1,0 +1,47 @@
+"""Wall-clock timing helper used by the evaluation harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Accumulating wall-clock timer usable as a context manager.
+
+    Examples
+    --------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(10))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Start (or restart) the current measurement interval."""
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the current interval and add it to :attr:`elapsed`."""
+        if self._started_at is None:
+            raise RuntimeError("Timer.stop() called without a matching start()")
+        interval = time.perf_counter() - self._started_at
+        self.elapsed += interval
+        self._started_at = None
+        return interval
+
+    def reset(self) -> None:
+        """Clear the accumulated time."""
+        self.elapsed = 0.0
+        self._started_at = None

@@ -1,0 +1,67 @@
+"""Input validation helpers shared across the library.
+
+All public entry points funnel their array arguments through these helpers so
+that error messages are consistent and the numerical kernels can assume clean,
+contiguous ``float64`` data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+
+
+def as_float_matrix(array, name: str = "array") -> np.ndarray:
+    """Return ``array`` as a C-contiguous 2-D ``float64`` ndarray.
+
+    Parameters
+    ----------
+    array:
+        Anything convertible to a 2-D numeric array (rows are vectors).
+    name:
+        Name used in error messages.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the input is not 2-D, is empty along the row axis in a way that
+        makes it unusable, or contains non-finite values.
+    """
+    matrix = np.asarray(array, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise InvalidParameterError(
+            f"{name} must be a 2-D array of shape (num_vectors, rank); "
+            f"got ndim={matrix.ndim}"
+        )
+    if matrix.shape[1] == 0:
+        raise InvalidParameterError(f"{name} must have rank >= 1, got rank 0")
+    if not np.all(np.isfinite(matrix)):
+        raise InvalidParameterError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(matrix)
+
+
+def check_rank_match(queries: np.ndarray, probes: np.ndarray) -> None:
+    """Ensure the query and probe matrices share the same rank (columns)."""
+    if queries.shape[1] != probes.shape[1]:
+        raise DimensionMismatchError(
+            "query and probe matrices must have the same rank: "
+            f"{queries.shape[1]} != {probes.shape[1]}"
+        )
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that a scalar parameter is strictly positive."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise InvalidParameterError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def require_positive_int(value: int, name: str) -> int:
+    """Validate that a parameter is a strictly positive integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise InvalidParameterError(f"{name} must be a positive integer, got {value!r}")
+    if value <= 0:
+        raise InvalidParameterError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)

@@ -1,0 +1,100 @@
+"""Tests for the shared retriever protocol, the exception hierarchy and the package API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Lemp
+from repro.baselines import DualTreeRetriever, NaiveRetriever, SingleTreeRetriever, TARetriever
+from repro.core.api import Retriever
+from repro.exceptions import (
+    DimensionMismatchError,
+    InvalidParameterError,
+    NotPreparedError,
+    ReproError,
+    UnknownAlgorithmError,
+    UnknownDatasetError,
+)
+from tests.conftest import make_factors
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for error_type in (
+            InvalidParameterError,
+            DimensionMismatchError,
+            NotPreparedError,
+            UnknownAlgorithmError,
+            UnknownDatasetError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_value_error_compatibility(self):
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(DimensionMismatchError, ValueError)
+
+    def test_lookup_error_compatibility(self):
+        assert issubclass(UnknownAlgorithmError, KeyError)
+        assert issubclass(UnknownDatasetError, KeyError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(NotPreparedError, RuntimeError)
+
+
+class TestPackageApi:
+    def test_version_defined(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_algorithms_constant(self):
+        assert "LI" in repro.ALGORITHMS
+        assert "L2AP" in repro.ALGORITHMS
+
+
+class TestRetrieverProtocol:
+    FACTORIES = [Lemp, NaiveRetriever, TARetriever, SingleTreeRetriever, DualTreeRetriever]
+
+    @pytest.mark.parametrize("factory", FACTORIES)
+    def test_fit_returns_self(self, factory):
+        probes = make_factors(40, rank=6, seed=0)
+        retriever = factory()
+        assert retriever.fit(probes) is retriever
+        assert isinstance(retriever, Retriever)
+
+    @pytest.mark.parametrize("factory", FACTORIES)
+    def test_rank_mismatch_rejected(self, factory):
+        retriever = factory().fit(make_factors(40, rank=6, seed=1))
+        queries = make_factors(5, rank=7, seed=2)
+        with pytest.raises(DimensionMismatchError):
+            retriever.row_top_k(queries, 2)
+
+    @pytest.mark.parametrize("factory", FACTORIES)
+    def test_invalid_query_matrix_rejected(self, factory):
+        retriever = factory().fit(make_factors(40, rank=6, seed=3))
+        with pytest.raises(InvalidParameterError):
+            retriever.above_theta(np.array([1.0, 2.0, 3.0]), 0.5)
+
+    @pytest.mark.parametrize("factory", FACTORIES)
+    def test_stats_accumulate_over_calls(self, factory):
+        probes = make_factors(60, rank=6, seed=4)
+        queries = make_factors(20, rank=6, seed=5)
+        retriever = factory().fit(probes)
+        retriever.row_top_k(queries, 2)
+        first = retriever.stats.num_queries
+        retriever.row_top_k(queries, 2)
+        assert retriever.stats.num_queries == 2 * first
+
+    def test_lemp_name_includes_algorithm(self):
+        for algorithm in ("L", "LI", "L2AP"):
+            assert Lemp(algorithm=algorithm).name == f"LEMP-{algorithm}"
+
+    def test_baseline_names(self):
+        assert NaiveRetriever().name == "Naive"
+        assert TARetriever().name == "TA"
+        assert SingleTreeRetriever().name == "Tree"
+        assert DualTreeRetriever().name == "D-Tree"

@@ -1,0 +1,169 @@
+"""Tests for the Naive, TA, single-tree and dual-tree baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DualTreeRetriever,
+    NaiveRetriever,
+    SingleTreeRetriever,
+    TARetriever,
+)
+from repro.exceptions import NotPreparedError
+from tests.conftest import brute_force_above, brute_force_top_k, make_factors, pick_theta
+
+ALL_BASELINES = [
+    NaiveRetriever,
+    lambda: TARetriever(strategy="blocked"),
+    lambda: TARetriever(strategy="heap"),
+    lambda: SingleTreeRetriever(tree_type="cover"),
+    lambda: SingleTreeRetriever(tree_type="ball"),
+    DualTreeRetriever,
+]
+
+BASELINE_IDS = ["naive", "ta-blocked", "ta-heap", "tree-cover", "tree-ball", "dual-tree"]
+
+
+def small_instance(seed=0, num_queries=40, num_probes=120, rank=8):
+    queries = make_factors(num_queries, rank=rank, length_cov=0.8, seed=seed)
+    probes = make_factors(num_probes, rank=rank, length_cov=0.8, seed=seed + 1)
+    return queries, probes
+
+
+class TestAboveThetaCorrectness:
+    @pytest.mark.parametrize("factory", ALL_BASELINES, ids=BASELINE_IDS)
+    def test_matches_brute_force(self, factory):
+        queries, probes = small_instance(seed=3)
+        theta = pick_theta(queries, probes, 200)
+        retriever = factory().fit(probes)
+        result = retriever.above_theta(queries, theta)
+        assert result.to_set() == brute_force_above(queries, probes, theta)
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES, ids=BASELINE_IDS)
+    def test_scores_exact(self, factory):
+        queries, probes = small_instance(seed=4)
+        product = queries @ probes.T
+        theta = pick_theta(queries, probes, 50)
+        result = factory().fit(probes).above_theta(queries, theta)
+        for query_id, probe_id, score in zip(result.query_ids, result.probe_ids, result.scores):
+            assert score == pytest.approx(product[query_id, probe_id], rel=1e-9)
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES, ids=BASELINE_IDS)
+    def test_empty_result_for_huge_threshold(self, factory):
+        queries, probes = small_instance(seed=5)
+        theta = float((queries @ probes.T).max() + 10.0)
+        result = factory().fit(probes).above_theta(queries, theta)
+        assert result.num_results == 0
+
+
+class TestRowTopKCorrectness:
+    @pytest.mark.parametrize("factory", ALL_BASELINES, ids=BASELINE_IDS)
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_matches_brute_force_scores(self, factory, k):
+        queries, probes = small_instance(seed=6)
+        retriever = factory().fit(probes)
+        result = retriever.row_top_k(queries, k)
+        product = queries @ probes.T
+        expected = -np.sort(-product, axis=1)[:, :k]
+        np.testing.assert_allclose(result.scores[:, :k], expected, atol=1e-9)
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES, ids=BASELINE_IDS)
+    def test_k_exceeding_probe_count(self, factory):
+        queries, probes = small_instance(seed=7, num_probes=6)
+        result = factory().fit(probes).row_top_k(queries, 10)
+        assert result.indices.shape == (queries.shape[0], 10)
+        assert np.all(result.indices[:, :6] >= 0)
+        assert np.all(result.indices[:, 6:] == -1)
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES, ids=BASELINE_IDS)
+    def test_indices_match_scores(self, factory):
+        queries, probes = small_instance(seed=8)
+        result = factory().fit(probes).row_top_k(queries, 3)
+        product = queries @ probes.T
+        for query_id in range(queries.shape[0]):
+            for slot in range(3):
+                probe_id = result.indices[query_id, slot]
+                if probe_id >= 0:
+                    assert result.scores[query_id, slot] == pytest.approx(
+                        product[query_id, probe_id], rel=1e-9
+                    )
+
+
+class TestRetrieverProtocol:
+    @pytest.mark.parametrize("factory", ALL_BASELINES, ids=BASELINE_IDS)
+    def test_requires_fit(self, factory):
+        queries, _ = small_instance()
+        with pytest.raises(NotPreparedError):
+            factory().above_theta(queries, 1.0)
+
+    def test_naive_counts_all_candidates(self):
+        queries, probes = small_instance(seed=9)
+        retriever = NaiveRetriever().fit(probes)
+        retriever.above_theta(queries, 10.0)
+        assert retriever.stats.candidates == queries.shape[0] * probes.shape[0]
+        assert retriever.stats.candidates_per_query == probes.shape[0]
+
+    def test_pruning_baselines_examine_fewer_candidates(self):
+        queries, probes = small_instance(seed=10, num_probes=300)
+        theta = pick_theta(queries, probes, 30)
+        naive = NaiveRetriever().fit(probes)
+        naive.above_theta(queries, theta)
+        tree = SingleTreeRetriever().fit(probes)
+        tree.above_theta(queries, theta)
+        assert tree.stats.candidates < naive.stats.candidates
+
+    def test_ta_strategies_agree(self):
+        queries, probes = small_instance(seed=11, num_queries=15)
+        theta = pick_theta(queries, probes, 40)
+        blocked = TARetriever(strategy="blocked").fit(probes).above_theta(queries, theta)
+        heap = TARetriever(strategy="heap").fit(probes).above_theta(queries, theta)
+        assert blocked.to_set() == heap.to_set()
+
+    def test_ta_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            TARetriever(strategy="magic")
+
+    def test_tree_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            SingleTreeRetriever(tree_type="kd")
+        with pytest.raises(ValueError):
+            DualTreeRetriever(tree_type="kd")
+
+    def test_tree_records_preprocessing_time(self):
+        _, probes = small_instance(seed=12)
+        retriever = SingleTreeRetriever().fit(probes)
+        assert retriever.stats.preprocessing_seconds > 0.0
+
+    def test_dual_tree_counts_query_tree_as_preprocessing(self):
+        queries, probes = small_instance(seed=13)
+        retriever = DualTreeRetriever().fit(probes)
+        after_fit = retriever.stats.preprocessing_seconds
+        retriever.row_top_k(queries, 2)
+        assert retriever.stats.preprocessing_seconds > after_fit
+
+
+class TestEdgeCases:
+    def test_queries_with_zero_vector(self):
+        queries = np.vstack([np.zeros((1, 6)), make_factors(10, rank=6, seed=14)])
+        probes = make_factors(40, rank=6, seed=15)
+        theta = 0.2
+        for factory in (NaiveRetriever, lambda: TARetriever()):
+            result = factory().fit(probes).above_theta(queries, theta)
+            assert result.to_set() == brute_force_above(queries, probes, theta)
+
+    def test_probes_with_zero_vector(self):
+        queries = make_factors(10, rank=6, seed=16)
+        probes = np.vstack([np.zeros((1, 6)), make_factors(40, rank=6, seed=17)])
+        result = NaiveRetriever().fit(probes).row_top_k(queries, 3)
+        expected, product = brute_force_top_k(queries, probes, 3)
+        np.testing.assert_allclose(
+            result.scores[:, :3], -np.sort(-product, axis=1)[:, :3], atol=1e-12
+        )
+
+    def test_single_query(self):
+        queries, probes = small_instance(seed=18, num_queries=1)
+        result = DualTreeRetriever().fit(probes).row_top_k(queries, 4)
+        product = queries @ probes.T
+        np.testing.assert_allclose(result.scores[0, :4], -np.sort(-product[0])[:4], atol=1e-9)

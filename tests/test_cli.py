@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import TABLE_BUILDERS, build_parser, main
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    code = main(argv, out=buffer)
+    return code, buffer.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_topk_defaults(self):
+        args = build_parser().parse_args(["topk"])
+        assert args.dataset == "netflix"
+        assert args.algorithm == "LEMP-LI"
+        assert args.k == 10
+
+    def test_above_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["above", "--theta", "1.0", "--results", "10"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["topk", "--dataset", "movielens"])
+
+    def test_tables_choices(self):
+        args = build_parser().parse_args(["tables", "--which", "table3", "figure3"])
+        assert args.which == ["table3", "figure3"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "--which", "table99"])
+
+
+class TestCommands:
+    def test_datasets_lists_all(self):
+        code, output = run_cli(["datasets"])
+        assert code == 0
+        for name in ("ie-svd", "ie-nmf", "netflix", "kdd"):
+            assert name in output
+
+    def test_topk_outputs_metrics(self):
+        code, output = run_cli(
+            ["topk", "--dataset", "netflix", "--algorithm", "LEMP-LI", "--k", "3", "--scale", "tiny"]
+        )
+        assert code == 0
+        assert "candidates per query" in output
+        assert "row_top_k" in output
+
+    def test_topk_with_baseline_algorithm(self):
+        code, output = run_cli(["topk", "--dataset", "ie-nmf-t", "--algorithm", "Naive", "--k", "2"])
+        assert code == 0
+        assert "Naive" in output
+
+    def test_above_with_recall_level(self):
+        code, output = run_cli(
+            ["above", "--dataset", "ie-svd", "--results", "200", "--scale", "tiny"]
+        )
+        assert code == 0
+        assert "above_theta" in output
+
+    def test_above_with_explicit_theta(self):
+        code, output = run_cli(
+            ["above", "--dataset", "ie-svd", "--theta", "1.5", "--scale", "tiny"]
+        )
+        assert code == 0
+        assert "above_theta" in output
+
+    def test_tables_figure3(self):
+        code, output = run_cli(["tables", "--which", "figure3"])
+        assert code == 0
+        assert "theta_b" in output
+
+    def test_tables_table1(self):
+        code, output = run_cli(["tables", "--which", "table1", "--scale", "tiny"])
+        assert code == 0
+        assert "ie-nmf" in output
+
+    def test_every_table_builder_exists(self):
+        assert set(TABLE_BUILDERS) >= {
+            "table1", "table2", "table3", "table4", "table5", "table6", "figure3", "ablation"
+        }

@@ -1,0 +1,43 @@
+"""Tests for the column-wise Top-k convenience method of Lemp."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Lemp
+from repro.baselines import NaiveRetriever
+from tests.conftest import make_factors
+
+
+class TestColumnTopK:
+    def setup_method(self):
+        self.queries = make_factors(80, rank=10, length_cov=0.9, seed=30)
+        self.probes = make_factors(150, rank=10, length_cov=0.9, seed=31)
+
+    def test_matches_swapped_naive(self):
+        result = Lemp(algorithm="LI", seed=0).fit(self.probes).column_top_k(self.queries, 4)
+        reference = NaiveRetriever().fit(self.queries).row_top_k(self.probes, 4)
+        np.testing.assert_allclose(result.scores, reference.scores, atol=1e-9)
+
+    def test_one_row_per_probe(self):
+        result = Lemp(algorithm="LI", seed=0).fit(self.probes).column_top_k(self.queries, 3)
+        assert result.num_queries == self.probes.shape[0]
+
+    def test_indices_reference_query_rows(self):
+        result = Lemp(algorithm="LI", seed=0).fit(self.probes).column_top_k(self.queries, 3)
+        valid = result.indices[result.indices >= 0]
+        assert valid.max() < self.queries.shape[0]
+
+    def test_requires_fit(self):
+        from repro.exceptions import NotPreparedError
+
+        with pytest.raises(NotPreparedError):
+            Lemp().column_top_k(self.queries, 3)
+
+    def test_scores_are_true_inner_products(self):
+        result = Lemp(algorithm="LI", seed=0).fit(self.probes).column_top_k(self.queries, 2)
+        product = self.probes @ self.queries.T
+        for probe_id in range(0, self.probes.shape[0], 20):
+            for query_id, score in result.row(probe_id):
+                assert score == pytest.approx(product[probe_id, query_id], rel=1e-9)

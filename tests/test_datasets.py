@@ -1,0 +1,230 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    dataset_statistics,
+    fraction_nonzero,
+    generate_fact_matrix,
+    generate_ratings,
+    ie_nmf_like,
+    ie_svd_like,
+    kdd_like,
+    length_cov,
+    load_dataset,
+    netflix_like,
+    synthetic_factors,
+)
+from repro.datasets.registry import Dataset
+from repro.exceptions import UnknownDatasetError
+
+
+class TestSyntheticFactors:
+    def test_shape(self):
+        factors = synthetic_factors(200, rank=12, seed=0)
+        assert factors.shape == (200, 12)
+
+    def test_length_cov_matches_request(self):
+        for target in (0.4, 1.0, 2.0):
+            factors = synthetic_factors(4000, rank=20, length_cov=target, seed=1)
+            assert length_cov(factors) == pytest.approx(target, rel=0.2)
+
+    def test_sparsity_matches_request(self):
+        factors = synthetic_factors(500, rank=20, sparsity=0.6, seed=2)
+        assert fraction_nonzero(factors) == pytest.approx(0.4, abs=0.05)
+
+    def test_nonnegative_option(self):
+        factors = synthetic_factors(100, rank=10, nonnegative=True, seed=3)
+        assert np.all(factors >= 0)
+
+    def test_every_vector_has_a_nonzero(self):
+        factors = synthetic_factors(300, rank=8, sparsity=0.9, seed=4)
+        assert np.all(np.count_nonzero(factors, axis=1) >= 1)
+
+    def test_mean_length_scaling(self):
+        factors = synthetic_factors(3000, rank=10, length_cov=0.3, mean_length=5.0, seed=5)
+        lengths = np.linalg.norm(factors, axis=1)
+        assert lengths.mean() == pytest.approx(5.0, rel=0.1)
+
+    def test_reproducible(self):
+        a = synthetic_factors(50, rank=6, seed=7)
+        b = synthetic_factors(50, rank=6, seed=7)
+        np.testing.assert_allclose(a, b)
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ValueError):
+            synthetic_factors(10, sparsity=1.0)
+
+    def test_rejects_bad_mean_length(self):
+        with pytest.raises(ValueError):
+            synthetic_factors(10, mean_length=0.0)
+
+
+class TestRecommenderGenerators:
+    def test_ratings_in_range(self):
+        rows, cols, values = generate_ratings(100, 50, 2000, seed=0)
+        assert rows.shape == cols.shape == values.shape == (2000,)
+        assert values.min() >= 1.0
+        assert values.max() <= 5.0
+
+    def test_popularity_skew(self):
+        _, cols, _ = generate_ratings(100, 200, 5000, popularity_exponent=1.2, seed=1)
+        counts = np.bincount(cols, minlength=200)
+        # The most popular items should receive far more ratings than the tail.
+        assert counts.max() > 5 * max(1, np.median(counts))
+
+    def test_netflix_like_direct_shapes_and_cov(self):
+        queries, probes = netflix_like(800, 200, rank=20, method="direct", seed=0)
+        assert queries.shape == (800, 20)
+        assert probes.shape == (200, 20)
+        assert length_cov(queries) < length_cov(probes) + 0.3
+
+    def test_kdd_like_low_skew(self):
+        queries, probes = kdd_like(2000, 500, rank=20, method="direct", seed=1)
+        assert length_cov(queries) < 0.6
+        assert length_cov(probes) < 0.6
+
+    def test_model_based_generation(self):
+        queries, probes = netflix_like(80, 40, rank=8, method="als", seed=2)
+        assert queries.shape == (80, 8)
+        assert probes.shape == (40, 8)
+        assert np.all(np.isfinite(queries))
+        assert np.all(np.isfinite(probes))
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            netflix_like(10, 10, method="magic")
+        with pytest.raises(ValueError):
+            kdd_like(10, 10, method="magic")
+
+
+class TestOpenIeGenerators:
+    def test_fact_matrix_binary(self):
+        facts = generate_fact_matrix(100, 60, density=0.05, seed=0)
+        assert set(np.unique(facts)).issubset({0.0, 1.0})
+
+    def test_fact_matrix_density(self):
+        facts = generate_fact_matrix(300, 200, density=0.05, seed=1)
+        assert fraction_nonzero(facts) == pytest.approx(0.05, abs=0.02)
+
+    def test_fact_matrix_skewed_margins(self):
+        facts = generate_fact_matrix(400, 200, density=0.03, seed=2)
+        row_degree = facts.sum(axis=1)
+        assert row_degree.max() > 5 * max(1.0, np.median(row_degree))
+
+    def test_ie_svd_direct_high_skew(self):
+        queries, probes = ie_svd_like(1000, 300, rank=20, method="direct", seed=3)
+        assert length_cov(probes) > 1.5
+
+    def test_ie_nmf_direct_sparse_nonnegative(self):
+        queries, probes = ie_nmf_like(500, 200, rank=20, method="direct", seed=4)
+        assert np.all(queries >= 0)
+        assert np.all(probes >= 0)
+        assert fraction_nonzero(queries) < 0.6
+
+    def test_ie_svd_model_reconstructs(self):
+        queries, probes = ie_svd_like(120, 60, rank=10, method="model", seed=5)
+        assert queries.shape[1] == probes.shape[1]
+        assert np.all(np.isfinite(queries @ probes.T))
+
+    def test_ie_nmf_model_nonnegative(self):
+        queries, probes = ie_nmf_like(80, 50, rank=8, method="model", seed=6)
+        assert np.all(queries >= 0)
+        assert np.all(probes >= 0)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            ie_svd_like(10, 10, method="magic")
+        with pytest.raises(ValueError):
+            ie_nmf_like(10, 10, method="magic")
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            generate_fact_matrix(10, 10, density=0.0)
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in DATASET_NAMES:
+            dataset = load_dataset(name, scale="tiny", seed=0)
+            assert dataset.queries.shape[1] == dataset.probes.shape[1] == 50
+            assert dataset.queries.shape[0] > 0
+            assert dataset.probes.shape[0] > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(UnknownDatasetError):
+            load_dataset("movielens")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(UnknownDatasetError):
+            load_dataset("netflix", scale="huge")
+
+    def test_scales_change_size(self):
+        tiny = load_dataset("netflix", scale="tiny")
+        small = load_dataset("netflix", scale="small")
+        assert small.queries.shape[0] > tiny.queries.shape[0]
+
+    def test_transposed_variant_swaps_roles(self):
+        base = load_dataset("ie-svd", scale="tiny", seed=1)
+        transposed = load_dataset("ie-svd-t", scale="tiny", seed=1)
+        assert transposed.queries.shape[0] == base.probes.shape[0]
+        assert transposed.probes.shape[0] == base.queries.shape[0]
+
+    def test_dataset_transposed_method(self):
+        dataset = load_dataset("netflix", scale="tiny")
+        flipped = dataset.transposed()
+        assert flipped.name == "netflix-t"
+        assert flipped.queries.shape == dataset.probes.shape
+        assert flipped.transposed().name == "netflix"
+
+    def test_reproducible_with_seed(self):
+        a = load_dataset("kdd", scale="tiny", seed=5)
+        b = load_dataset("kdd", scale="tiny", seed=5)
+        np.testing.assert_allclose(a.queries, b.queries)
+        np.testing.assert_allclose(a.probes, b.probes)
+
+    def test_metadata_recorded(self):
+        dataset = load_dataset("ie-nmf", scale="tiny", seed=2)
+        assert dataset.metadata["scale"] == "tiny"
+        assert dataset.metadata["seed"] == 2
+        assert dataset.rank == 50
+
+
+class TestStatistics:
+    def test_length_cov_of_constant_lengths_is_zero(self):
+        matrix = np.eye(5)
+        assert length_cov(matrix) == pytest.approx(0.0)
+
+    def test_fraction_nonzero_dense(self):
+        assert fraction_nonzero(np.ones((4, 4))) == 1.0
+
+    def test_fraction_nonzero_half(self):
+        matrix = np.zeros((2, 4))
+        matrix[0] = 1.0
+        assert fraction_nonzero(matrix) == pytest.approx(0.5)
+
+    def test_dataset_statistics_keys(self):
+        dataset = Dataset("demo", np.ones((5, 3)), np.ones((7, 3)))
+        stats = dataset_statistics(dataset)
+        assert stats["num_queries"] == 5
+        assert stats["num_probes"] == 7
+        assert stats["rank"] == 3
+        assert stats["fraction_nonzero"] == 1.0
+
+    def test_table1_shape_relationships(self):
+        """The synthetic datasets preserve the paper's qualitative statistics."""
+        ie_nmf = load_dataset("ie-nmf", scale="tiny", seed=0)
+        ie_svd = load_dataset("ie-svd", scale="tiny", seed=0)
+        netflix = load_dataset("netflix", scale="tiny", seed=0)
+        kdd = load_dataset("kdd", scale="tiny", seed=0)
+        # IE datasets have much larger length skew than the recommender ones.
+        assert length_cov(ie_svd.probes) > length_cov(netflix.probes)
+        assert length_cov(ie_nmf.probes) > length_cov(kdd.probes)
+        # KDD has the least skew; IE-NMF is the only sparse dataset.
+        assert length_cov(kdd.probes) < 0.6
+        assert fraction_nonzero(ie_nmf.queries) < 0.6
+        assert fraction_nonzero(ie_svd.queries) == pytest.approx(1.0)

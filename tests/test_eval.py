@@ -1,0 +1,174 @@
+"""Tests for the evaluation harness: recall levels, runner, reporting, experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveRetriever
+from repro.datasets.registry import Dataset, load_dataset
+from repro.eval import (
+    format_speedup,
+    format_table,
+    make_retriever,
+    run_above_theta,
+    run_row_top_k,
+    theta_for_result_count,
+)
+from repro.eval.experiments import (
+    cache_ablation,
+    figure3_feasible_regions,
+    table1_dataset_statistics,
+    table2_preprocessing,
+)
+from repro.eval.recall import recall_levels_for
+from repro.exceptions import UnknownAlgorithmError
+from tests.conftest import make_factors
+
+
+class TestRecall:
+    def test_threshold_yields_requested_count(self):
+        queries = make_factors(40, rank=8, seed=0)
+        probes = make_factors(100, rank=8, seed=1)
+        theta = theta_for_result_count(queries, probes, 250)
+        product = queries @ probes.T
+        assert int(np.count_nonzero(product >= theta)) >= 250
+
+    def test_matches_exact_order_statistic(self):
+        queries = make_factors(20, rank=6, seed=2)
+        probes = make_factors(50, rank=6, seed=3)
+        theta = theta_for_result_count(queries, probes, 37)
+        product = np.sort((queries @ probes.T).ravel())
+        assert theta == pytest.approx(product[-37])
+
+    def test_blocked_computation_consistent(self):
+        queries = make_factors(64, rank=5, seed=4)
+        probes = make_factors(30, rank=5, seed=5)
+        small_blocks = theta_for_result_count(queries, probes, 100, block_size=7)
+        one_block = theta_for_result_count(queries, probes, 100, block_size=1000)
+        assert small_blocks == pytest.approx(one_block)
+
+    def test_count_larger_than_matrix_rejected(self):
+        queries = make_factors(5, rank=4, seed=6)
+        probes = make_factors(5, rank=4, seed=7)
+        with pytest.raises(ValueError):
+            theta_for_result_count(queries, probes, 26)
+
+    def test_recall_levels_filtering(self):
+        assert recall_levels_for(100, 100, levels=(1000, 10**6)) == [1000]
+        assert recall_levels_for(10, 10, levels=(1000,)) == [10]
+
+
+class TestHarness:
+    def test_make_retriever_names(self):
+        assert make_retriever("Naive").name == "Naive"
+        assert make_retriever("TA").name == "TA"
+        assert make_retriever("Tree").name == "Tree"
+        assert make_retriever("D-Tree").name == "D-Tree"
+        assert make_retriever("LEMP-LI").name == "LEMP-LI"
+        assert make_retriever("LEMP-L2AP").name == "LEMP-L2AP"
+
+    def test_make_retriever_unknown(self):
+        with pytest.raises(UnknownAlgorithmError):
+            make_retriever("FAISS")
+        with pytest.raises(UnknownAlgorithmError):
+            make_retriever("LEMP-XYZ")
+
+    def make_dataset(self):
+        return Dataset(
+            "demo", make_factors(60, rank=10, seed=8), make_factors(150, rank=10, seed=9)
+        )
+
+    def test_run_above_theta_result_fields(self):
+        dataset = self.make_dataset()
+        theta = theta_for_result_count(dataset.queries, dataset.probes, 100)
+        outcome = run_above_theta(make_retriever("LEMP-LI"), dataset, theta)
+        assert outcome.problem == "above_theta"
+        assert outcome.dataset == "demo"
+        assert outcome.num_results >= 100
+        assert outcome.total_seconds > 0
+        assert outcome.candidates_per_query > 0
+
+    def test_run_row_top_k_result_fields(self):
+        dataset = self.make_dataset()
+        outcome = run_row_top_k(make_retriever("Naive"), dataset, 5)
+        assert outcome.problem == "row_top_k"
+        assert outcome.parameter == 5
+        assert outcome.num_results == dataset.queries.shape[0] * 5
+        assert outcome.candidates_per_query == dataset.probes.shape[0]
+
+    def test_retriever_reuse_counts_deltas(self):
+        dataset = self.make_dataset()
+        retriever = make_retriever("LEMP-L")
+        first = run_row_top_k(retriever, dataset, 5)
+        second = run_row_top_k(retriever, dataset, 5)
+        assert second.candidates_per_query == pytest.approx(first.candidates_per_query, rel=0.01)
+
+    def test_as_row_is_flat(self):
+        dataset = self.make_dataset()
+        outcome = run_row_top_k(make_retriever("Naive"), dataset, 2)
+        row = outcome.as_row()
+        assert row[0] == "demo"
+        assert len(row) == 8
+
+
+class TestReporting:
+    def test_format_table_contains_all_cells(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "yz"]])
+        assert "a" in text and "bb" in text
+        assert "2.5" in text and "yz" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_speedup(self):
+        assert format_speedup(10.0, 2.0) == "5.0x"
+        assert format_speedup(1.0, 0.0) == "inf"
+
+
+class TestExperiments:
+    def test_table1_statistics_rows(self):
+        rows = table1_dataset_statistics(scale="tiny")
+        assert {row["name"] for row in rows} == {"ie-nmf", "ie-svd", "netflix", "kdd"}
+        for row in rows:
+            assert row["rank"] == 50
+
+    def test_table2_preprocessing_rows(self):
+        rows = table2_preprocessing(datasets=("netflix",), algorithms=("LEMP-LI", "Tree"), scale="tiny")
+        assert len(rows) == 2
+        assert all(row["total_seconds"] >= 0 for row in rows)
+
+    def test_figure3_rows_structure(self):
+        rows = figure3_feasible_regions(theta_values=(0.3, 0.99), num_points=11)
+        assert len(rows) == 22
+        widths_03 = [row["width"] for row in rows if row["theta_b"] == 0.3]
+        widths_99 = [row["width"] for row in rows if row["theta_b"] == 0.99]
+        # Larger local thresholds shrink the feasible region (Figure 3).
+        assert np.mean(widths_99) < np.mean(widths_03)
+
+    def test_cache_ablation_rows(self):
+        rows = cache_ablation(dataset_name="kdd", k=2, scale="tiny")
+        labels = {row["configuration"] for row in rows}
+        assert labels == {"cache-aware", "cache-oblivious"}
+        aware = next(row for row in rows if row["configuration"] == "cache-aware")
+        oblivious = next(row for row in rows if row["configuration"] == "cache-oblivious")
+        assert aware["num_buckets"] >= oblivious["num_buckets"]
+
+
+class TestCrossMethodAgreement:
+    """All retrievers solve the same problem: spot-check agreement on a dataset."""
+
+    def test_above_theta_agreement_on_ie_dataset(self):
+        dataset = load_dataset("ie-svd", scale="tiny", seed=3)
+        theta = theta_for_result_count(dataset.queries, dataset.probes, 500)
+        reference = NaiveRetriever().fit(dataset.probes).above_theta(dataset.queries, theta)
+        for name in ("LEMP-LI", "LEMP-L", "Tree"):
+            retriever = make_retriever(name, seed=1).fit(dataset.probes)
+            result = retriever.above_theta(dataset.queries, theta)
+            assert result.to_set() == reference.to_set(), name
+
+    def test_top_k_agreement_on_netflix(self):
+        dataset = load_dataset("netflix", scale="tiny", seed=4)
+        reference = NaiveRetriever().fit(dataset.probes).row_top_k(dataset.queries, 5)
+        for name in ("LEMP-LI", "LEMP-I", "Tree"):
+            retriever = make_retriever(name, seed=1).fit(dataset.probes)
+            result = retriever.row_top_k(dataset.queries, 5)
+            np.testing.assert_allclose(result.scores, reference.scores, atol=1e-8, err_msg=name)

@@ -1,0 +1,83 @@
+"""Integration tests of the experiment definitions used by the benchmark suite.
+
+These run miniature versions of the table-generating functions (few
+algorithms, tiny scale) and check the structure of their output plus a couple
+of qualitative relations, so a regression in the harness is caught by the test
+suite rather than only by inspecting benchmark output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import (
+    above_theta_comparison,
+    row_top_k_comparison,
+    table2_preprocessing,
+)
+
+
+class TestAboveThetaComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return above_theta_comparison(
+            datasets=("ie-svd",),
+            algorithms=("Naive", "LEMP-LI"),
+            recall_levels=(500,),
+            scale="tiny",
+            seed=0,
+        )
+
+    def test_one_row_per_algorithm_and_level(self, results):
+        assert len(results) == 2
+        assert {result.algorithm for result in results} == {"Naive", "LEMP-LI"}
+
+    def test_result_counts_match_recall_level(self, results):
+        for result in results:
+            assert result.num_results >= 500
+
+    def test_algorithms_agree_on_result_count(self, results):
+        counts = {result.algorithm: result.num_results for result in results}
+        assert counts["Naive"] == counts["LEMP-LI"]
+
+    def test_lemp_prunes_candidates(self, results):
+        by_name = {result.algorithm: result for result in results}
+        assert by_name["LEMP-LI"].candidates_per_query < by_name["Naive"].candidates_per_query
+
+
+class TestRowTopKComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return row_top_k_comparison(
+            datasets=("ie-nmf-t",),
+            algorithms=("Naive", "Tree", "LEMP-LI"),
+            k_values=(1, 5),
+            scale="tiny",
+            seed=0,
+        )
+
+    def test_row_count(self, results):
+        assert len(results) == 6
+
+    def test_problem_and_parameters(self, results):
+        assert all(result.problem == "row_top_k" for result in results)
+        assert {result.parameter for result in results} == {1.0, 5.0}
+
+    def test_candidates_grow_with_k(self, results):
+        lemp = {result.parameter: result for result in results if result.algorithm == "LEMP-LI"}
+        assert lemp[5.0].candidates_per_query >= lemp[1.0].candidates_per_query
+
+    def test_pruning_methods_beat_naive_on_candidates(self, results):
+        for k in (1.0, 5.0):
+            rows = {r.algorithm: r for r in results if r.parameter == k}
+            assert rows["LEMP-LI"].candidates_per_query < rows["Naive"].candidates_per_query
+            assert rows["Tree"].candidates_per_query < rows["Naive"].candidates_per_query
+
+
+class TestPreprocessingComparison:
+    def test_tree_preprocessing_dominates_lemp(self):
+        rows = table2_preprocessing(
+            datasets=("ie-svd",), algorithms=("LEMP-LI", "Tree"), scale="tiny", seed=0
+        )
+        by_name = {row["algorithm"]: row for row in rows}
+        assert by_name["Tree"]["preprocessing_seconds"] > by_name["LEMP-LI"]["preprocessing_seconds"]

@@ -1,0 +1,114 @@
+"""Tests for the clustered approximate Row-Top-k extension and its k-means substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveRetriever
+from repro.extensions import ClusteredTopK, kmeans
+from tests.conftest import make_factors
+
+
+class TestKmeans:
+    def test_centroids_are_unit(self):
+        centroids, _ = kmeans(make_factors(200, rank=8, seed=0), num_clusters=10, seed=0)
+        np.testing.assert_allclose(np.linalg.norm(centroids, axis=1), 1.0, atol=1e-9)
+
+    def test_assignment_shape_and_range(self):
+        vectors = make_factors(150, rank=6, seed=1)
+        centroids, assignment = kmeans(vectors, num_clusters=7, seed=0)
+        assert assignment.shape == (150,)
+        assert assignment.min() >= 0
+        assert assignment.max() < centroids.shape[0]
+
+    def test_clusters_capped_at_num_vectors(self):
+        centroids, assignment = kmeans(make_factors(5, rank=4, seed=2), num_clusters=20, seed=0)
+        assert centroids.shape[0] == 5
+
+    def test_members_closest_to_own_centroid_mostly(self):
+        vectors = make_factors(300, rank=5, seed=3)
+        centroids, assignment = kmeans(vectors, num_clusters=6, num_iterations=50, seed=0)
+        directions = vectors / np.linalg.norm(vectors, axis=1)[:, None]
+        similarities = directions @ centroids.T
+        best = np.argmax(similarities, axis=1)
+        agreement = float(np.mean(best == assignment))
+        assert agreement > 0.9
+
+    def test_separated_clusters_recovered(self):
+        rng = np.random.default_rng(4)
+        group_a = rng.normal(0, 0.05, (40, 4)) + np.array([1.0, 0, 0, 0])
+        group_b = rng.normal(0, 0.05, (40, 4)) + np.array([0, 1.0, 0, 0])
+        vectors = np.vstack([group_a, group_b])
+        _, assignment = kmeans(vectors, num_clusters=2, num_iterations=30, seed=0)
+        # All of group A should share a label, all of group B the other.
+        assert len(set(assignment[:40].tolist())) == 1
+        assert len(set(assignment[40:].tolist())) == 1
+        assert assignment[0] != assignment[40]
+
+    def test_reproducible(self):
+        vectors = make_factors(80, rank=6, seed=5)
+        first = kmeans(vectors, num_clusters=4, seed=7)
+        second = kmeans(vectors, num_clusters=4, seed=7)
+        np.testing.assert_allclose(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(Exception):
+            kmeans(make_factors(10, seed=6), num_clusters=0)
+
+
+class TestClusteredTopK:
+    def setup_method(self):
+        self.queries = make_factors(200, rank=12, length_cov=0.8, seed=10)
+        self.probes = make_factors(400, rank=12, length_cov=0.8, seed=11)
+        self.exact = NaiveRetriever().fit(self.probes).row_top_k(self.queries, 10)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            ClusteredTopK().row_top_k(self.queries, 5)
+
+    def test_shapes(self):
+        approx = ClusteredTopK(num_clusters=20, expansion=4, seed=0).fit(self.probes)
+        result = approx.row_top_k(self.queries, 10)
+        assert result.indices.shape == (200, 10)
+        assert result.scores.shape == (200, 10)
+
+    def test_scores_are_exact_for_returned_probes(self):
+        approx = ClusteredTopK(num_clusters=20, expansion=4, seed=0).fit(self.probes)
+        result = approx.row_top_k(self.queries, 5)
+        product = self.queries @ self.probes.T
+        for query_id in range(0, 200, 25):
+            for probe_id, score in result.row(query_id):
+                assert score == pytest.approx(product[query_id, probe_id], rel=1e-9)
+
+    def test_recall_reasonable_and_improves_with_expansion(self):
+        small = ClusteredTopK(num_clusters=25, expansion=2, seed=0).fit(self.probes)
+        large = ClusteredTopK(num_clusters=25, expansion=10, seed=0).fit(self.probes)
+        recall_small = small.recall_against(self.exact, small.row_top_k(self.queries, 10))
+        recall_large = large.recall_against(self.exact, large.row_top_k(self.queries, 10))
+        assert recall_large >= recall_small
+        assert recall_large > 0.5
+
+    def test_more_clusters_increase_recall(self):
+        few = ClusteredTopK(num_clusters=5, expansion=3, seed=0).fit(self.probes)
+        many = ClusteredTopK(num_clusters=100, expansion=3, seed=0).fit(self.probes)
+        recall_few = few.recall_against(self.exact, few.row_top_k(self.queries, 10))
+        recall_many = many.recall_against(self.exact, many.row_top_k(self.queries, 10))
+        assert recall_many >= recall_few
+
+    def test_does_less_work_than_naive(self):
+        approx = ClusteredTopK(num_clusters=20, expansion=3, seed=0).fit(self.probes)
+        approx.row_top_k(self.queries, 10)
+        naive_work = self.queries.shape[0] * self.probes.shape[0]
+        assert approx.stats.inner_products < naive_work
+
+    def test_recall_against_identical_results_is_one(self):
+        approx = ClusteredTopK(num_clusters=10, seed=0).fit(self.probes)
+        assert approx.recall_against(self.exact, self.exact) == pytest.approx(1.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(Exception):
+            ClusteredTopK(num_clusters=0)
+        with pytest.raises(Exception):
+            ClusteredTopK(expansion=0)

@@ -1,0 +1,239 @@
+"""End-to-end tests of the Lemp retriever against brute force, for all algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Lemp
+from repro.exceptions import InvalidParameterError, NotPreparedError, UnknownAlgorithmError
+from tests.conftest import brute_force_above, brute_force_top_k, make_factors, pick_theta
+
+EXACT_ALGORITHMS = ["L", "C", "I", "TA", "TREE", "L2AP", "LC", "LI"]
+
+
+class TestAboveTheta:
+    @pytest.mark.parametrize("algorithm", EXACT_ALGORITHMS)
+    def test_matches_brute_force_skewed(self, algorithm, small_problem):
+        queries, probes = small_problem
+        theta = pick_theta(queries, probes, 300)
+        retriever = Lemp(algorithm=algorithm, seed=7).fit(probes)
+        result = retriever.above_theta(queries, theta)
+        assert result.to_set() == brute_force_above(queries, probes, theta)
+
+    @pytest.mark.parametrize("algorithm", ["L", "I", "LI"])
+    def test_matches_brute_force_dense(self, algorithm, dense_problem):
+        queries, probes = dense_problem
+        theta = pick_theta(queries, probes, 150)
+        retriever = Lemp(algorithm=algorithm, seed=3).fit(probes)
+        result = retriever.above_theta(queries, theta)
+        assert result.to_set() == brute_force_above(queries, probes, theta)
+
+    def test_scores_are_exact(self, small_problem):
+        queries, probes = small_problem
+        theta = pick_theta(queries, probes, 100)
+        result = Lemp(algorithm="LI", seed=0).fit(probes).above_theta(queries, theta)
+        product = queries @ probes.T
+        for query_id, probe_id, score in zip(result.query_ids, result.probe_ids, result.scores):
+            assert score == pytest.approx(product[query_id, probe_id], rel=1e-9)
+            assert score >= theta - 1e-9
+
+    def test_blsh_allows_bounded_misses(self, small_problem):
+        queries, probes = small_problem
+        theta = pick_theta(queries, probes, 400)
+        expected = brute_force_above(queries, probes, theta)
+        result = Lemp(algorithm="BLSH", seed=1).fit(probes).above_theta(queries, theta)
+        found = result.to_set()
+        assert found <= expected
+        assert len(found) >= 0.9 * len(expected)
+
+    def test_rejects_nonpositive_theta(self, small_problem):
+        queries, probes = small_problem
+        retriever = Lemp().fit(probes)
+        with pytest.raises(InvalidParameterError):
+            retriever.above_theta(queries, 0.0)
+        with pytest.raises(InvalidParameterError):
+            retriever.above_theta(queries, -1.0)
+
+    def test_requires_fit(self, small_problem):
+        queries, _ = small_problem
+        with pytest.raises(NotPreparedError):
+            Lemp().above_theta(queries, 1.0)
+
+    def test_empty_query_matrix(self, small_problem):
+        _, probes = small_problem
+        result = Lemp().fit(probes).above_theta(np.empty((0, probes.shape[1])), 1.0)
+        assert result.num_results == 0
+
+    def test_very_high_threshold_gives_empty_result(self, small_problem):
+        queries, probes = small_problem
+        theta = float((queries @ probes.T).max() * 2 + 1.0)
+        result = Lemp(algorithm="LI").fit(probes).above_theta(queries, theta)
+        assert result.num_results == 0
+
+    def test_stats_populated(self, small_problem):
+        queries, probes = small_problem
+        retriever = Lemp(algorithm="LI", seed=0).fit(probes)
+        theta = pick_theta(queries, probes, 200)
+        retriever.above_theta(queries, theta)
+        assert retriever.stats.num_queries == queries.shape[0]
+        assert retriever.stats.candidates > 0
+        assert retriever.stats.preprocessing_seconds > 0.0
+        assert retriever.stats.retrieval_seconds > 0.0
+
+    def test_repeated_calls_consistent(self, small_problem):
+        queries, probes = small_problem
+        retriever = Lemp(algorithm="L2AP", seed=0).fit(probes)
+        theta_loose = pick_theta(queries, probes, 500)
+        theta_tight = pick_theta(queries, probes, 50)
+        first = retriever.above_theta(queries, theta_tight)
+        second = retriever.above_theta(queries, theta_loose)
+        assert first.to_set() == brute_force_above(queries, probes, theta_tight)
+        assert second.to_set() == brute_force_above(queries, probes, theta_loose)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200), count=st.integers(20, 400))
+    def test_property_li_equals_brute_force(self, seed, count):
+        queries = make_factors(60, rank=8, length_cov=1.0, seed=seed)
+        probes = make_factors(150, rank=8, length_cov=1.0, seed=seed + 1)
+        theta = pick_theta(queries, probes, count)
+        if theta <= 0:
+            return
+        result = Lemp(algorithm="LI", seed=seed).fit(probes).above_theta(queries, theta)
+        assert result.to_set() == brute_force_above(queries, probes, theta)
+
+
+class TestRowTopK:
+    @pytest.mark.parametrize("algorithm", EXACT_ALGORITHMS)
+    def test_matches_brute_force(self, algorithm, small_problem):
+        queries, probes = small_problem
+        retriever = Lemp(algorithm=algorithm, seed=5).fit(probes)
+        k = 7
+        result = retriever.row_top_k(queries, k)
+        expected_sets, product = brute_force_top_k(queries, probes, k)
+        for query_id in range(queries.shape[0]):
+            found = set(result.indices[query_id][result.indices[query_id] >= 0].tolist())
+            # Ties may be broken differently; compare the achieved scores.
+            expected_scores = np.sort(product[query_id][list(expected_sets[query_id])])
+            found_scores = np.sort(product[query_id][list(found)])
+            np.testing.assert_allclose(found_scores, expected_scores, atol=1e-9)
+
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_various_k(self, k, dense_problem):
+        queries, probes = dense_problem
+        result = Lemp(algorithm="LI", seed=2).fit(probes).row_top_k(queries, k)
+        _, product = brute_force_top_k(queries, probes, k)
+        expected_best = product.max(axis=1)
+        np.testing.assert_allclose(result.scores[:, 0], expected_best, atol=1e-9)
+
+    def test_scores_sorted_descending(self, small_problem):
+        queries, probes = small_problem
+        result = Lemp(algorithm="LI", seed=2).fit(probes).row_top_k(queries, 5)
+        diffs = np.diff(result.scores, axis=1)
+        assert np.all(diffs[np.isfinite(diffs)] <= 1e-9)
+
+    def test_k_larger_than_num_probes(self):
+        queries = make_factors(10, rank=6, seed=1)
+        probes = make_factors(4, rank=6, seed=2)
+        result = Lemp(algorithm="LI").fit(probes).row_top_k(queries, 9)
+        assert result.indices.shape == (10, 9)
+        assert np.all(result.indices[:, :4] >= 0)
+        assert np.all(result.indices[:, 4:] == -1)
+        assert np.all(np.isneginf(result.scores[:, 4:]))
+
+    def test_k_one(self, small_problem):
+        queries, probes = small_problem
+        result = Lemp(algorithm="LI", seed=0).fit(probes).row_top_k(queries, 1)
+        product = queries @ probes.T
+        np.testing.assert_allclose(result.scores[:, 0], product.max(axis=1), atol=1e-9)
+
+    def test_rejects_bad_k(self, small_problem):
+        queries, probes = small_problem
+        retriever = Lemp().fit(probes)
+        with pytest.raises(InvalidParameterError):
+            retriever.row_top_k(queries, 0)
+        with pytest.raises(InvalidParameterError):
+            retriever.row_top_k(queries, -3)
+
+    def test_queries_with_negative_products_only(self):
+        # All inner products negative: top-k must still return k entries.
+        probes = np.array([[1.0, 0.0], [0.5, 0.5], [0.0, 1.0]])
+        queries = np.array([[-1.0, -1.0]])
+        result = Lemp(algorithm="LI").fit(probes).row_top_k(queries, 2)
+        assert np.all(result.indices[0, :2] >= 0)
+        product = queries @ probes.T
+        assert result.scores[0, 0] == pytest.approx(product.max())
+
+    def test_row_result_helper(self, small_problem):
+        queries, probes = small_problem
+        result = Lemp(algorithm="LI", seed=0).fit(probes).row_top_k(queries, 3)
+        row = result.row(0)
+        assert len(row) == 3
+        assert all(isinstance(probe_id, int) for probe_id, _ in row)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100), k=st.integers(1, 12))
+    def test_property_topk_scores_match_brute_force(self, seed, k):
+        queries = make_factors(40, rank=8, length_cov=0.7, seed=seed)
+        probes = make_factors(120, rank=8, length_cov=0.7, seed=seed + 500)
+        result = Lemp(algorithm="LI", seed=seed).fit(probes).row_top_k(queries, k)
+        product = queries @ probes.T
+        expected = -np.sort(-product, axis=1)[:, :k]
+        np.testing.assert_allclose(result.scores[:, :k], expected, atol=1e-9)
+
+
+class TestConfiguration:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(UnknownAlgorithmError):
+            Lemp(algorithm="FOO")
+
+    def test_algorithm_case_insensitive(self):
+        assert Lemp(algorithm="li").algorithm == "LI"
+
+    def test_name_reflects_algorithm(self):
+        assert Lemp(algorithm="INCR"[:1]).name == "LEMP-I"
+
+    def test_num_buckets_after_fit(self, small_problem):
+        _, probes = small_problem
+        retriever = Lemp(cache_kib=16).fit(probes)
+        assert retriever.num_buckets >= 1
+        assert sum(bucket.size for bucket in retriever.buckets) == probes.shape[0]
+
+    def test_fixed_phi_skips_tuning(self, small_problem):
+        queries, probes = small_problem
+        retriever = Lemp(algorithm="I", phi=2, seed=0).fit(probes)
+        theta = pick_theta(queries, probes, 100)
+        retriever.above_theta(queries, theta)
+        assert retriever.stats.tuning_seconds == 0.0
+
+    def test_mixed_algorithm_tunes(self, small_problem):
+        queries, probes = small_problem
+        retriever = Lemp(algorithm="LI", seed=0).fit(probes)
+        theta = pick_theta(queries, probes, 100)
+        retriever.above_theta(queries, theta)
+        assert retriever.stats.tuning_seconds > 0.0
+
+    def test_cache_oblivious_configuration(self, small_problem):
+        queries, probes = small_problem
+        aware = Lemp(cache_kib=16).fit(probes)
+        oblivious = Lemp(cache_kib=None, max_bucket_size=None).fit(probes)
+        assert aware.num_buckets >= oblivious.num_buckets
+        theta = pick_theta(queries, probes, 100)
+        assert aware.above_theta(queries, theta).to_set() == oblivious.above_theta(
+            queries, theta
+        ).to_set()
+
+    def test_single_probe(self):
+        probes = np.array([[1.0, 2.0, 2.0]])
+        queries = make_factors(20, rank=3, seed=9)
+        result = Lemp(algorithm="LI").fit(probes).row_top_k(queries, 1)
+        assert np.all(result.indices[:, 0] == 0)
+
+    def test_identical_probes(self):
+        probes = np.tile(np.array([[1.0, 1.0, 1.0, 1.0]]), (50, 1))
+        queries = make_factors(10, rank=4, seed=10)
+        theta = 0.5
+        result = Lemp(algorithm="LI").fit(probes).above_theta(queries, theta)
+        assert result.to_set() == brute_force_above(queries, probes, theta)

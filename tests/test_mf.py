@@ -1,0 +1,159 @@
+"""Tests for the matrix-factorisation substrate (SGD, ALS, NMF, SVD)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mf import als_factorize, nmf_factorize, sgd_factorize, truncated_svd_factorize
+
+
+def low_rank_observations(num_rows=60, num_cols=40, rank=4, density=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    row_factors = rng.standard_normal((num_rows, rank))
+    col_factors = rng.standard_normal((num_cols, rank))
+    full = row_factors @ col_factors.T
+    mask = rng.random((num_rows, num_cols)) < density
+    rows, cols = np.nonzero(mask)
+    return rows, cols, full[rows, cols], num_rows, num_cols, full
+
+
+class TestSgd:
+    def test_loss_decreases(self):
+        rows, cols, values, m, n, _ = low_rank_observations(seed=1)
+        _, _, losses = sgd_factorize(rows, cols, values, m, n, rank=4, num_epochs=8, seed=0)
+        assert losses[-1] < losses[0]
+
+    def test_output_shapes(self):
+        rows, cols, values, m, n, _ = low_rank_observations(seed=2)
+        row_factors, col_factors, _ = sgd_factorize(rows, cols, values, m, n, rank=6, num_epochs=2, seed=0)
+        assert row_factors.shape == (m, 6)
+        assert col_factors.shape == (n, 6)
+
+    def test_reconstruction_quality(self):
+        rows, cols, values, m, n, _ = low_rank_observations(density=0.5, seed=3)
+        row_factors, col_factors, _ = sgd_factorize(
+            rows, cols, values, m, n, rank=4, num_epochs=30, learning_rate=0.05,
+            regularization=0.001, seed=0,
+        )
+        predictions = np.einsum("ij,ij->i", row_factors[rows], col_factors[cols])
+        correlation = np.corrcoef(predictions, values)[0, 1]
+        assert correlation > 0.8
+
+    def test_reproducible_with_seed(self):
+        rows, cols, values, m, n, _ = low_rank_observations(seed=4)
+        first = sgd_factorize(rows, cols, values, m, n, rank=3, num_epochs=2, seed=42)[0]
+        second = sgd_factorize(rows, cols, values, m, n, rank=3, num_epochs=2, seed=42)[0]
+        np.testing.assert_allclose(first, second)
+
+    def test_rejects_mismatched_coo(self):
+        with pytest.raises(ValueError):
+            sgd_factorize(np.arange(3), np.arange(4), np.ones(3), 5, 5)
+
+
+class TestAls:
+    def test_loss_decreases(self):
+        rows, cols, values, m, n, _ = low_rank_observations(seed=5)
+        _, _, losses = als_factorize(rows, cols, values, m, n, rank=4, num_iterations=6, seed=0)
+        assert losses[-1] < losses[0]
+
+    def test_output_shapes(self):
+        rows, cols, values, m, n, _ = low_rank_observations(seed=6)
+        row_factors, col_factors, _ = als_factorize(rows, cols, values, m, n, rank=5, num_iterations=2, seed=0)
+        assert row_factors.shape == (m, 5)
+        assert col_factors.shape == (n, 5)
+
+    def test_reconstruction_quality(self):
+        rows, cols, values, m, n, _ = low_rank_observations(density=0.5, seed=7)
+        row_factors, col_factors, _ = als_factorize(
+            rows, cols, values, m, n, rank=4, num_iterations=10, regularization=0.01, seed=0
+        )
+        predictions = np.einsum("ij,ij->i", row_factors[rows], col_factors[cols])
+        correlation = np.corrcoef(predictions, values)[0, 1]
+        assert correlation > 0.95
+
+    def test_handles_unobserved_entities(self):
+        # Row 0 and column 0 never observed: their factors stay at initialisation.
+        rows = np.array([1, 2, 3])
+        cols = np.array([1, 2, 3])
+        values = np.array([1.0, 2.0, 3.0])
+        row_factors, col_factors, _ = als_factorize(rows, cols, values, 5, 5, rank=2, num_iterations=2, seed=0)
+        assert np.all(np.isfinite(row_factors))
+        assert np.all(np.isfinite(col_factors))
+
+    def test_rejects_mismatched_coo(self):
+        with pytest.raises(ValueError):
+            als_factorize(np.arange(3), np.arange(3), np.ones(4), 5, 5)
+
+
+class TestNmf:
+    def test_factors_nonnegative(self):
+        rng = np.random.default_rng(8)
+        matrix = rng.random((40, 30))
+        w, h, _ = nmf_factorize(matrix, rank=5, num_iterations=30, seed=0)
+        assert np.all(w >= 0)
+        assert np.all(h >= 0)
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(9)
+        matrix = rng.random((40, 30))
+        _, _, losses = nmf_factorize(matrix, rank=5, num_iterations=40, seed=0)
+        assert losses[-1] < losses[0]
+
+    def test_shapes(self):
+        rng = np.random.default_rng(10)
+        matrix = rng.random((25, 35))
+        w, h, _ = nmf_factorize(matrix, rank=7, num_iterations=5, seed=0)
+        assert w.shape == (25, 7)
+        assert h.shape == (7, 35)
+
+    def test_reconstructs_low_rank_matrix(self):
+        rng = np.random.default_rng(11)
+        true_w = rng.random((30, 3))
+        true_h = rng.random((3, 20))
+        matrix = true_w @ true_h
+        w, h, losses = nmf_factorize(matrix, rank=3, num_iterations=300, seed=0)
+        relative_error = np.linalg.norm(matrix - w @ h) / np.linalg.norm(matrix)
+        assert relative_error < 0.05
+
+    def test_rejects_negative_input(self):
+        with pytest.raises(ValueError):
+            nmf_factorize(np.array([[1.0, -0.1]]), rank=1)
+
+
+class TestSvd:
+    def test_product_matches_truncated_reconstruction(self):
+        rng = np.random.default_rng(12)
+        matrix = rng.standard_normal((40, 25))
+        queries, probes = truncated_svd_factorize(matrix, rank=10)
+        u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+        expected = (u[:, :10] * s[:10]) @ vt[:10]
+        np.testing.assert_allclose(queries @ probes.T, expected, atol=1e-8)
+
+    def test_shapes(self):
+        rng = np.random.default_rng(13)
+        matrix = rng.standard_normal((30, 50))
+        queries, probes = truncated_svd_factorize(matrix, rank=8)
+        assert queries.shape == (30, 8)
+        assert probes.shape == (50, 8)
+
+    def test_full_rank_request(self):
+        rng = np.random.default_rng(14)
+        matrix = rng.standard_normal((10, 6))
+        queries, probes = truncated_svd_factorize(matrix, rank=6)
+        np.testing.assert_allclose(queries @ probes.T, matrix, atol=1e-8)
+
+    def test_exact_reconstruction_of_low_rank_input(self):
+        rng = np.random.default_rng(15)
+        matrix = rng.standard_normal((30, 4)) @ rng.standard_normal((4, 20))
+        queries, probes = truncated_svd_factorize(matrix, rank=4)
+        np.testing.assert_allclose(queries @ probes.T, matrix, atol=1e-8)
+
+    def test_balanced_scaling_between_factors(self):
+        # Both factors absorb sqrt(Σ): their column norms should match.
+        rng = np.random.default_rng(16)
+        matrix = rng.standard_normal((40, 40))
+        queries, probes = truncated_svd_factorize(matrix, rank=5)
+        np.testing.assert_allclose(
+            np.linalg.norm(queries, axis=0), np.linalg.norm(probes, axis=0), rtol=1e-6
+        )

@@ -1,0 +1,92 @@
+"""Tests for the result containers and the runtime statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.results import AboveThetaResult, TopKResult
+from repro.core.stats import RunStats
+
+
+class TestAboveThetaResult:
+    def make(self):
+        return AboveThetaResult(
+            query_ids=[0, 0, 2], probe_ids=[5, 3, 1], scores=[1.5, 2.5, 0.7], theta=0.5
+        )
+
+    def test_len_and_num_results(self):
+        result = self.make()
+        assert len(result) == 3
+        assert result.num_results == 3
+
+    def test_to_set(self):
+        assert self.make().to_set() == {(0, 5), (0, 3), (2, 1)}
+
+    def test_arrays_coerced(self):
+        result = self.make()
+        assert result.query_ids.dtype == np.int64
+        assert result.scores.dtype == np.float64
+
+    def test_sorted_by_score(self):
+        ordered = self.make().sorted_by_score()
+        assert list(ordered.scores) == sorted(ordered.scores, reverse=True)
+        assert ordered.num_results == 3
+
+    def test_empty(self):
+        result = AboveThetaResult(np.empty(0), np.empty(0), np.empty(0), 1.0)
+        assert result.num_results == 0
+        assert result.to_set() == set()
+
+
+class TestTopKResult:
+    def make(self):
+        indices = np.array([[3, 1, -1], [2, 0, 4]])
+        scores = np.array([[5.0, 2.0, -np.inf], [9.0, 8.0, 7.0]])
+        return TopKResult(indices, scores, k=3)
+
+    def test_num_queries(self):
+        assert self.make().num_queries == 2
+
+    def test_row_skips_padding(self):
+        row = self.make().row(0)
+        assert row == [(3, 5.0), (1, 2.0)]
+
+    def test_row_full(self):
+        row = self.make().row(1)
+        assert [probe for probe, _ in row] == [2, 0, 4]
+
+    def test_row_sets(self):
+        sets = self.make().row_sets()
+        assert sets == [{3, 1}, {2, 0, 4}]
+
+
+class TestRunStats:
+    def test_candidates_per_query(self):
+        stats = RunStats(num_queries=4, candidates=20)
+        assert stats.candidates_per_query == 5.0
+
+    def test_candidates_per_query_no_queries(self):
+        assert RunStats().candidates_per_query == 0.0
+
+    def test_total_seconds(self):
+        stats = RunStats(preprocessing_seconds=1.0, tuning_seconds=0.5, retrieval_seconds=2.0)
+        assert stats.total_seconds == pytest.approx(3.5)
+
+    def test_merge_accumulates(self):
+        first = RunStats(num_queries=2, candidates=10, retrieval_seconds=1.0)
+        second = RunStats(num_queries=3, candidates=5, retrieval_seconds=0.5)
+        merged = first.merge(second)
+        assert merged is first
+        assert first.num_queries == 5
+        assert first.candidates == 15
+        assert first.retrieval_seconds == pytest.approx(1.5)
+
+    def test_reset(self):
+        stats = RunStats(num_queries=2, candidates=10, preprocessing_seconds=1.0)
+        stats.extra["x"] = 1
+        stats.reset()
+        assert stats.num_queries == 0
+        assert stats.candidates == 0
+        assert stats.preprocessing_seconds == 0.0
+        assert stats.extra == {}

@@ -1,0 +1,221 @@
+"""Tests for the cosine-similarity-search substrate (cosine, LSH, BayesLSH, L2AP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    BayesLshFilter,
+    L2APIndex,
+    RandomProjectionSignatures,
+    collision_probability,
+    cosine_search,
+    cosine_similarity_matrix,
+    minimum_matches,
+)
+from repro.similarity.cosine import normalize_rows
+from tests.conftest import make_factors
+
+
+def unit_vectors(count, rank, seed):
+    return normalize_rows(make_factors(count, rank=rank, seed=seed))
+
+
+class TestCosine:
+    def test_normalize_rows_unit(self):
+        normalized = normalize_rows(make_factors(30, rank=5, seed=1))
+        np.testing.assert_allclose(np.linalg.norm(normalized, axis=1), 1.0, atol=1e-12)
+
+    def test_normalize_rows_zero_row(self):
+        matrix = np.vstack([np.zeros((1, 3)), np.ones((1, 3))])
+        normalized = normalize_rows(matrix)
+        np.testing.assert_array_equal(normalized[0], np.zeros(3))
+
+    def test_similarity_matrix_diagonal_one(self):
+        matrix = make_factors(20, rank=6, seed=2)
+        similarity = cosine_similarity_matrix(matrix, matrix)
+        np.testing.assert_allclose(np.diag(similarity), 1.0, atol=1e-12)
+
+    def test_similarity_matrix_range(self):
+        similarity = cosine_similarity_matrix(
+            make_factors(15, rank=4, seed=3), make_factors(25, rank=4, seed=4)
+        )
+        assert np.all(similarity <= 1.0 + 1e-12)
+        assert np.all(similarity >= -1.0 - 1e-12)
+
+    def test_cosine_search_exact(self):
+        directions = unit_vectors(100, 8, seed=5)
+        query = unit_vectors(1, 8, seed=6)[0]
+        hits, values = cosine_search(query, directions, 0.3)
+        cosines = directions @ query
+        expected = set(np.nonzero(cosines >= 0.3)[0].tolist())
+        assert set(hits.tolist()) == expected
+        np.testing.assert_allclose(values, cosines[hits])
+
+    def test_cosine_search_empty(self):
+        directions = unit_vectors(50, 8, seed=7)
+        query = unit_vectors(1, 8, seed=8)[0]
+        hits, _ = cosine_search(query, directions, 1.01)
+        assert hits.size == 0
+
+
+class TestLsh:
+    def test_collision_probability_extremes(self):
+        assert collision_probability(1.0) == pytest.approx(1.0)
+        assert collision_probability(-1.0) == pytest.approx(0.0)
+        assert collision_probability(0.0) == pytest.approx(0.5)
+
+    def test_collision_probability_monotone(self):
+        grid = np.linspace(-1, 1, 50)
+        probabilities = collision_probability(grid)
+        assert np.all(np.diff(probabilities) >= 0)
+
+    def test_signatures_shape(self):
+        signer = RandomProjectionSignatures(rank=10, num_bits=16, seed=0)
+        signatures = signer.sign(unit_vectors(30, 10, seed=1))
+        assert signatures.shape == (30, 16)
+        assert signatures.dtype == bool
+
+    def test_identical_vectors_identical_signatures(self):
+        signer = RandomProjectionSignatures(rank=8, num_bits=32, seed=2)
+        vector = unit_vectors(1, 8, seed=3)
+        first = signer.sign(vector)[0]
+        second = signer.sign(vector.copy())[0]
+        np.testing.assert_array_equal(first, second)
+
+    def test_matching_bits_self_is_all(self):
+        signer = RandomProjectionSignatures(rank=8, num_bits=24, seed=4)
+        signatures = signer.sign(unit_vectors(10, 8, seed=5))
+        matches = RandomProjectionSignatures.matching_bits(signatures[0], signatures)
+        assert matches[0] == 24
+
+    def test_rank_mismatch_rejected(self):
+        signer = RandomProjectionSignatures(rank=8, num_bits=8, seed=6)
+        with pytest.raises(ValueError):
+            signer.sign(np.ones((3, 5)))
+
+    def test_similar_vectors_share_more_bits(self):
+        rng = np.random.default_rng(7)
+        base = rng.standard_normal(32)
+        base /= np.linalg.norm(base)
+        similar = base + 0.05 * rng.standard_normal(32)
+        similar /= np.linalg.norm(similar)
+        dissimilar = -base
+        signer = RandomProjectionSignatures(rank=32, num_bits=64, seed=8)
+        signatures = signer.sign(np.vstack([base, similar, dissimilar]))
+        matches = RandomProjectionSignatures.matching_bits(signatures[0], signatures)
+        assert matches[1] > matches[2]
+
+
+class TestMinimumMatches:
+    def test_zero_for_low_threshold(self):
+        assert minimum_matches(32, -1.0, 0.03) == 0
+
+    def test_monotone_in_threshold(self):
+        low = minimum_matches(32, 0.2, 0.03)
+        high = minimum_matches(32, 0.9, 0.03)
+        assert high >= low
+
+    def test_bounded_by_num_bits(self):
+        assert minimum_matches(32, 0.999, 0.03) <= 32
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            minimum_matches(32, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            minimum_matches(32, 0.5, 1.0)
+
+
+class TestBayesLshFilter:
+    def test_empty_candidates_passthrough(self):
+        directions = unit_vectors(20, 8, seed=9)
+        lsh_filter = BayesLshFilter(directions, seed=0)
+        result = lsh_filter.prune(directions[0], np.empty(0, dtype=np.intp), 0.8)
+        assert result.size == 0
+
+    def test_no_pruning_for_nonpositive_threshold(self):
+        directions = unit_vectors(20, 8, seed=10)
+        lsh_filter = BayesLshFilter(directions, seed=0)
+        candidates = np.arange(20)
+        result = lsh_filter.prune(directions[0], candidates, -0.5)
+        np.testing.assert_array_equal(result, candidates)
+
+    def test_false_negative_rate_respected(self):
+        directions = unit_vectors(400, 16, seed=11)
+        lsh_filter = BayesLshFilter(directions, num_bits=32, false_negative_rate=0.03, seed=1)
+        rng = np.random.default_rng(12)
+        missed = 0
+        total = 0
+        for _ in range(30):
+            query = rng.standard_normal(16)
+            query /= np.linalg.norm(query)
+            threshold = 0.5
+            cosines = directions @ query
+            truth = set(np.nonzero(cosines >= threshold)[0].tolist())
+            kept = set(lsh_filter.prune(query, np.arange(400), threshold).tolist())
+            missed += len(truth - kept)
+            total += len(truth)
+        if total:
+            assert missed / total <= 0.15
+
+
+class TestL2ApIndex:
+    def test_zero_base_threshold_indexes_every_nonzero(self):
+        directions = unit_vectors(50, 8, seed=13)
+        index = L2APIndex(directions, base_threshold=0.0)
+        assert index.indexed_entries() == int(np.count_nonzero(directions))
+
+    def test_index_reduction_shrinks_index(self):
+        directions = unit_vectors(50, 8, seed=14)
+        full = L2APIndex(directions, base_threshold=0.0)
+        reduced = L2APIndex(directions, base_threshold=0.8)
+        assert reduced.indexed_entries() < full.indexed_entries()
+
+    def test_candidates_contain_all_qualifying(self):
+        directions = unit_vectors(200, 10, seed=15)
+        query = unit_vectors(1, 10, seed=16)[0]
+        threshold = 0.4
+        index = L2APIndex(directions, base_threshold=threshold)
+        lids, _ = index.candidates(query, threshold)
+        cosines = directions @ query
+        qualifying = set(np.nonzero(cosines >= threshold)[0].tolist())
+        assert qualifying <= set(lids.tolist())
+
+    def test_per_probe_thresholds(self):
+        directions = unit_vectors(100, 8, seed=17)
+        query = unit_vectors(1, 8, seed=18)[0]
+        thresholds = np.full(100, 0.5)
+        thresholds[::2] = 0.1
+        index = L2APIndex(directions, base_threshold=0.1)
+        lids, _ = index.candidates(query, thresholds)
+        cosines = directions @ query
+        qualifying = set(np.nonzero(cosines >= thresholds)[0].tolist())
+        assert qualifying <= set(lids.tolist())
+
+    def test_accumulator_is_partial_cosine(self):
+        directions = unit_vectors(80, 6, seed=19)
+        query = unit_vectors(1, 6, seed=20)[0]
+        index = L2APIndex(directions, base_threshold=0.0)
+        lids, accumulated = index.candidates(query, -1.0)
+        cosines = directions @ query
+        # With base threshold 0 the whole vector is indexed: the accumulator
+        # equals the full cosine similarity.
+        np.testing.assert_allclose(accumulated, cosines[lids], atol=1e-9)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            L2APIndex(np.ones(5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 300), threshold=st.floats(0.05, 0.95))
+    def test_property_no_false_negatives(self, seed, threshold):
+        directions = unit_vectors(60, 6, seed=seed)
+        query = unit_vectors(1, 6, seed=seed + 1000)[0]
+        index = L2APIndex(directions, base_threshold=threshold)
+        lids, _ = index.candidates(query, threshold)
+        cosines = directions @ query
+        qualifying = set(np.nonzero(cosines >= threshold)[0].tolist())
+        assert qualifying <= set(lids.tolist())

@@ -1,0 +1,118 @@
+"""Unit tests of the Above-θ and Row-Top-k solvers against hand-built selectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.above_theta import solve_above_theta
+from repro.core.bucketize import bucketize
+from repro.core.retrievers import IncrRetriever, LengthRetriever
+from repro.core.selector import FixedSelector
+from repro.core.stats import RunStats
+from repro.core.top_k import solve_row_top_k
+from repro.core.vector_store import PreparedQueries, VectorStore
+from tests.conftest import brute_force_above, make_factors, pick_theta
+
+
+def build_problem(num_queries=50, num_probes=200, rank=10, length_cov=1.0, seed=0):
+    queries = make_factors(num_queries, rank=rank, length_cov=length_cov, seed=seed)
+    probes = make_factors(num_probes, rank=rank, length_cov=length_cov, seed=seed + 1)
+    store = VectorStore(probes)
+    buckets = bucketize(store, min_bucket_size=15, max_bucket_size=50)
+    return queries, probes, PreparedQueries(queries), buckets
+
+
+class TestSolveAboveTheta:
+    def test_matches_brute_force_with_length_selector(self):
+        queries, probes, prepared, buckets = build_problem(seed=10)
+        theta = pick_theta(queries, probes, 150)
+        stats = RunStats()
+        query_ids, probe_ids, scores = solve_above_theta(
+            prepared, buckets, theta, FixedSelector(LengthRetriever()), stats
+        )
+        assert set(zip(query_ids.tolist(), probe_ids.tolist())) == brute_force_above(
+            queries, probes, theta
+        )
+        assert np.all(scores >= theta - 1e-9)
+
+    def test_matches_brute_force_with_incr_selector(self):
+        queries, probes, prepared, buckets = build_problem(seed=11)
+        theta = pick_theta(queries, probes, 80)
+        stats = RunStats()
+        query_ids, probe_ids, _ = solve_above_theta(
+            prepared, buckets, theta, FixedSelector(IncrRetriever(), phi=3), stats
+        )
+        assert set(zip(query_ids.tolist(), probe_ids.tolist())) == brute_force_above(
+            queries, probes, theta
+        )
+
+    def test_bucket_pruning_counted(self):
+        queries, probes, prepared, buckets = build_problem(length_cov=1.5, seed=12)
+        theta = pick_theta(queries, probes, 20)
+        stats = RunStats()
+        solve_above_theta(prepared, buckets, theta, FixedSelector(LengthRetriever()), stats)
+        assert stats.buckets_pruned > 0
+        assert stats.buckets_examined + stats.buckets_pruned == len(buckets) * prepared.size
+
+    def test_candidates_at_least_results(self):
+        queries, probes, prepared, buckets = build_problem(seed=13)
+        theta = pick_theta(queries, probes, 60)
+        stats = RunStats()
+        query_ids, _, _ = solve_above_theta(
+            prepared, buckets, theta, FixedSelector(IncrRetriever()), stats
+        )
+        assert stats.candidates >= query_ids.size
+        assert stats.inner_products == stats.candidates
+
+    def test_empty_output_for_unreachable_threshold(self):
+        queries, probes, prepared, buckets = build_problem(seed=14)
+        theta = float((queries @ probes.T).max()) * 2 + 1.0
+        stats = RunStats()
+        query_ids, probe_ids, scores = solve_above_theta(
+            prepared, buckets, theta, FixedSelector(LengthRetriever()), stats
+        )
+        assert query_ids.size == probe_ids.size == scores.size == 0
+
+
+class TestSolveRowTopK:
+    def test_matches_brute_force(self):
+        queries, probes, prepared, buckets = build_problem(seed=20)
+        stats = RunStats()
+        indices, scores = solve_row_top_k(prepared, buckets, 5, FixedSelector(IncrRetriever()), stats)
+        product = queries @ probes.T
+        expected = -np.sort(-product, axis=1)[:, :5]
+        np.testing.assert_allclose(scores, expected, atol=1e-9)
+
+    def test_indices_consistent_with_scores(self):
+        queries, probes, prepared, buckets = build_problem(seed=21)
+        stats = RunStats()
+        indices, scores = solve_row_top_k(prepared, buckets, 3, FixedSelector(LengthRetriever()), stats)
+        product = queries @ probes.T
+        for query_id in range(queries.shape[0]):
+            for slot in range(3):
+                probe_id = indices[query_id, slot]
+                assert probe_id >= 0
+                assert scores[query_id, slot] == pytest.approx(product[query_id, probe_id], rel=1e-9)
+
+    def test_no_duplicate_probes_per_row(self):
+        queries, probes, prepared, buckets = build_problem(seed=22)
+        stats = RunStats()
+        indices, _ = solve_row_top_k(prepared, buckets, 8, FixedSelector(LengthRetriever()), stats)
+        for row in indices:
+            valid = row[row >= 0]
+            assert len(set(valid.tolist())) == valid.size
+
+    def test_bucket_pruning_happens_for_skewed_data(self):
+        queries, probes, prepared, buckets = build_problem(length_cov=1.8, num_probes=400, seed=23)
+        stats = RunStats()
+        solve_row_top_k(prepared, buckets, 1, FixedSelector(LengthRetriever()), stats)
+        assert stats.buckets_examined < len(buckets) * prepared.size
+
+    def test_k_equal_to_probe_count(self):
+        queries, probes, prepared, buckets = build_problem(num_probes=40, seed=24)
+        stats = RunStats()
+        indices, scores = solve_row_top_k(prepared, buckets, 40, FixedSelector(LengthRetriever()), stats)
+        assert np.all(indices >= 0)
+        product = queries @ probes.T
+        np.testing.assert_allclose(scores, -np.sort(-product, axis=1), atol=1e-9)

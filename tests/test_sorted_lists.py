@@ -1,0 +1,151 @@
+"""Tests for the sorted-list index and the CP-array aggregations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cp_array import accumulate_partial_products, count_scan_hits, scan_ranges
+from repro.core.sorted_lists import SortedListIndex
+from repro.core.thresholds import feasible_region
+from tests.conftest import make_factors
+
+
+def unit_rows(num_rows, rank, seed):
+    matrix = make_factors(num_rows, rank=rank, length_cov=0.0, seed=seed)
+    return matrix / np.linalg.norm(matrix, axis=1)[:, None]
+
+
+class TestSortedListIndex:
+    def test_values_ascending_per_coordinate(self):
+        directions = unit_rows(40, 8, seed=0)
+        index = SortedListIndex(directions)
+        for coordinate in range(8):
+            assert np.all(np.diff(index.values[coordinate]) >= -1e-15)
+
+    def test_lids_consistent_with_values(self):
+        directions = unit_rows(25, 6, seed=1)
+        index = SortedListIndex(directions)
+        for coordinate in range(6):
+            np.testing.assert_allclose(
+                directions[index.lids[coordinate], coordinate], index.values[coordinate]
+            )
+
+    def test_scan_range_brackets_values(self):
+        directions = unit_rows(60, 5, seed=2)
+        index = SortedListIndex(directions)
+        start, end = index.scan_range(2, -0.1, 0.3)
+        inside = directions[:, 2]
+        expected = np.count_nonzero((inside >= -0.1) & (inside <= 0.3))
+        assert end - start == expected
+
+    def test_scan_returns_matching_entries(self):
+        directions = unit_rows(60, 5, seed=3)
+        index = SortedListIndex(directions)
+        lids, values = index.scan(1, 0.0, 1.0)
+        assert np.all(values >= 0.0)
+        np.testing.assert_allclose(directions[lids, 1], values)
+
+    def test_full_range_covers_everything(self):
+        directions = unit_rows(30, 4, seed=4)
+        index = SortedListIndex(directions)
+        lids, _ = index.scan(0, -1.0, 1.0)
+        assert sorted(lids.tolist()) == list(range(30))
+
+    def test_empty_range(self):
+        directions = unit_rows(30, 4, seed=5)
+        index = SortedListIndex(directions)
+        lids, values = index.scan(0, 2.0, 3.0)
+        assert lids.size == 0
+        assert values.size == 0
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            SortedListIndex(np.ones(5))
+
+    def test_memory_bytes_positive(self):
+        index = SortedListIndex(unit_rows(10, 3, seed=6))
+        assert index.memory_bytes() > 0
+
+
+class TestCpArray:
+    def setup_method(self):
+        self.directions = unit_rows(80, 8, seed=7)
+        self.index = SortedListIndex(self.directions)
+        self.query = unit_rows(1, 8, seed=8)[0]
+
+    def test_scan_ranges_match_feasible_region(self):
+        focus = np.array([0, 3])
+        theta_b = 0.7
+        ranges = scan_ranges(self.index, self.query, focus, theta_b)
+        lowers, uppers = feasible_region(self.query[focus], theta_b)
+        for (coordinate, start, end), low, high in zip(ranges, lowers, uppers):
+            values = self.index.values[coordinate, start:end]
+            assert np.all(values >= low - 1e-12)
+            assert np.all(values <= high + 1e-12)
+
+    def test_counts_match_manual_computation(self):
+        focus = np.array([1, 4, 6])
+        theta_b = 0.6
+        counts = count_scan_hits(self.index, self.query, focus, theta_b, 80)
+        lowers, uppers = feasible_region(self.query[focus], theta_b)
+        manual = np.zeros(80, dtype=int)
+        for coordinate, low, high in zip(focus, lowers, uppers):
+            values = self.directions[:, coordinate]
+            manual += ((values >= low) & (values <= high)).astype(int)
+        np.testing.assert_array_equal(counts, manual)
+
+    def test_counts_bounded_by_focus_size(self):
+        focus = np.array([0, 1, 2, 3])
+        counts = count_scan_hits(self.index, self.query, focus, 0.5, 80)
+        assert counts.max() <= 4
+
+    def test_accumulate_partial_dot_correct(self):
+        focus = np.array([2, 5])
+        theta_b = 0.5
+        counts, partial_dot, partial_sqnorm = accumulate_partial_products(
+            self.index, self.query, focus, theta_b, 80
+        )
+        lowers, uppers = feasible_region(self.query[focus], theta_b)
+        for lid in range(80):
+            expected_dot = 0.0
+            expected_sq = 0.0
+            expected_count = 0
+            for coordinate, low, high in zip(focus, lowers, uppers):
+                value = self.directions[lid, coordinate]
+                if low <= value <= high:
+                    expected_dot += self.query[coordinate] * value
+                    expected_sq += value * value
+                    expected_count += 1
+            assert counts[lid] == expected_count
+            assert partial_dot[lid] == pytest.approx(expected_dot, abs=1e-12)
+            assert partial_sqnorm[lid] == pytest.approx(expected_sq, abs=1e-12)
+
+    def test_full_focus_full_region_recovers_exact_cosine(self):
+        focus = np.arange(8)
+        counts, partial_dot, partial_sqnorm = accumulate_partial_products(
+            self.index, self.query, focus, 0.0, 80
+        )
+        # A non-positive θ_b makes every coordinate's region [-1, 1]: everything is seen.
+        np.testing.assert_array_equal(counts, np.full(80, 8))
+        np.testing.assert_allclose(partial_dot, self.directions @ self.query, atol=1e-9)
+        np.testing.assert_allclose(partial_sqnorm, 1.0, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        theta_b=st.floats(0.05, 0.99),
+        phi=st.integers(1, 6),
+        seed=st.integers(0, 50),
+    )
+    def test_property_qualifying_probes_seen_in_all_lists(self, theta_b, phi, seed):
+        """Any probe with cosine >= θ_b appears in every focus scan range."""
+        directions = unit_rows(60, 6, seed=seed)
+        index = SortedListIndex(directions)
+        query = unit_rows(1, 6, seed=seed + 1000)[0]
+        focus = np.argsort(-np.abs(query))[:phi]
+        counts = count_scan_hits(index, query, focus, theta_b, 60)
+        cosines = directions @ query
+        qualifying = np.nonzero(cosines >= theta_b)[0]
+        assert np.all(counts[qualifying] == phi)

@@ -1,0 +1,119 @@
+"""Tests for threshold arithmetic and the coordinate feasible-region bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.thresholds import (
+    feasible_region,
+    local_threshold,
+    local_thresholds,
+    probe_thresholds,
+)
+
+
+class TestLocalThreshold:
+    def test_basic_value(self):
+        assert local_threshold(0.9, 0.5, 2.0) == pytest.approx(0.9)
+
+    def test_matches_paper_example(self):
+        # Fig. 2 of the paper: θ = 0.9, ‖q1‖ = 5, buckets of length 2, 1, 0.5.
+        assert local_threshold(0.9, 5.0, 2.0) == pytest.approx(0.09)
+        assert local_threshold(0.9, 5.0, 1.0) == pytest.approx(0.18)
+        assert local_threshold(0.9, 5.0, 0.5) == pytest.approx(0.36)
+        assert local_threshold(0.9, 1.0, 1.0) == pytest.approx(0.90)
+
+    def test_prune_condition_above_one(self):
+        # q3 of Fig. 2 (‖q3‖ = 0.1): all local thresholds exceed 1.
+        assert local_threshold(0.9, 0.1, 2.0) > 1.0
+
+    def test_zero_query_norm_positive_theta(self):
+        assert local_threshold(0.5, 0.0, 1.0) == np.inf
+
+    def test_zero_bucket_length_positive_theta(self):
+        assert local_threshold(0.5, 1.0, 0.0) == np.inf
+
+    def test_zero_denominator_negative_theta(self):
+        assert local_threshold(-0.5, 0.0, 1.0) == -np.inf
+
+    def test_vectorised_matches_scalar(self):
+        norms = np.array([5.0, 1.0, 0.1, 0.0])
+        vector = local_thresholds(0.9, norms, 2.0)
+        scalar = [local_threshold(0.9, float(norm), 2.0) for norm in norms]
+        np.testing.assert_allclose(vector, scalar)
+
+    def test_probe_thresholds_vectorised(self):
+        lengths = np.array([2.0, 1.0, 0.0])
+        values = probe_thresholds(0.9, 0.5, lengths)
+        assert values[0] == pytest.approx(0.9)
+        assert values[1] == pytest.approx(1.8)
+        assert values[2] == np.inf
+
+
+class TestFeasibleRegion:
+    def test_paper_running_example(self):
+        # Fig. 4d: q̄ = (0.70, 0.3, 0.4, 0.51), θ_b = 0.9, focus = {1, 4}.
+        lower, upper = feasible_region(np.array([0.70, 0.51]), 0.9)
+        assert lower[0] == pytest.approx(0.32, abs=0.01)
+        assert upper[0] == pytest.approx(0.94, abs=0.01)
+        assert lower[1] == pytest.approx(0.09, abs=0.01)
+        assert upper[1] == pytest.approx(0.83, abs=0.01)
+
+    def test_region_within_unit_interval(self):
+        lower, upper = feasible_region(np.linspace(-1, 1, 21), 0.7)
+        assert np.all(lower >= -1.0)
+        assert np.all(upper <= 1.0)
+        assert np.all(lower <= upper + 1e-12)
+
+    def test_larger_threshold_gives_smaller_region(self):
+        grid = np.linspace(-0.95, 0.95, 15)
+        low_lo, low_hi = feasible_region(grid, 0.3)
+        high_lo, high_hi = feasible_region(grid, 0.9)
+        assert np.all((high_hi - high_lo) <= (low_hi - low_lo) + 1e-9)
+
+    def test_trivial_region_for_nonpositive_threshold(self):
+        lower, upper = feasible_region(np.array([0.5, -0.5]), 0.0)
+        np.testing.assert_array_equal(lower, [-1.0, -1.0])
+        np.testing.assert_array_equal(upper, [1.0, 1.0])
+
+    def test_trivial_region_for_threshold_above_one(self):
+        lower, upper = feasible_region(np.array([0.5]), 1.5)
+        np.testing.assert_array_equal(lower, [-1.0])
+        np.testing.assert_array_equal(upper, [1.0])
+
+    def test_threshold_one_pins_to_query(self):
+        lower, upper = feasible_region(np.array([0.6]), 1.0)
+        assert lower[0] == pytest.approx(0.6, abs=1e-9)
+        assert upper[0] == pytest.approx(0.6, abs=1e-9)
+
+    def test_zero_coordinate(self):
+        lower, upper = feasible_region(np.array([0.0]), 0.8)
+        assert lower[0] == pytest.approx(-0.6, abs=1e-9)
+        assert upper[0] == pytest.approx(0.6, abs=1e-9)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        query=st.floats(-1.0, 1.0),
+        probe=st.floats(-1.0, 1.0),
+        theta_b=st.floats(0.01, 1.0),
+        angle_seed=st.integers(0, 10_000),
+    )
+    def test_property_no_false_negatives(self, query, probe, theta_b, angle_seed):
+        """A probe coordinate outside the feasible region implies cos < θ_b.
+
+        Equivalently: whenever two unit vectors have cosine >= θ_b, every
+        coordinate of the probe lies inside the query's feasible region — we
+        verify the contrapositive by constructing unit vectors in 3-D with the
+        given first coordinates and maximal remaining alignment.
+        """
+        lower, upper = feasible_region(np.array([query]), theta_b)
+        # Build unit vectors q = (query, rest_q, 0), p = (probe, rest_p, 0)
+        # with the remaining mass perfectly aligned — the best case for cos.
+        rest_q = np.sqrt(max(0.0, 1.0 - query * query))
+        rest_p = np.sqrt(max(0.0, 1.0 - probe * probe))
+        best_cosine = query * probe + rest_q * rest_p
+        if probe < lower[0] - 1e-9 or probe > upper[0] + 1e-9:
+            assert best_cosine < theta_b + 1e-9

@@ -1,0 +1,166 @@
+"""Tests for the cover tree, ball tree and the single-tree MIPS searcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ball_tree import BallTree
+from repro.baselines.cover_tree import CoverTree
+from repro.baselines.tree_search import TreeSearcher
+from tests.conftest import make_factors
+
+
+def check_node_invariants(node, points):
+    """Every point of a subtree lies within the node's radius of its center."""
+    indices = node.subtree_indices()
+    if indices.size:
+        distances = np.linalg.norm(points[indices] - node.center, axis=1)
+        assert np.all(distances <= node.radius + 1e-9)
+    for child in node.children:
+        check_node_invariants(child, points)
+
+
+@pytest.mark.parametrize("tree_factory", [CoverTree, BallTree], ids=["cover", "ball"])
+class TestTreeConstruction:
+    def test_all_points_present(self, tree_factory):
+        points = make_factors(200, rank=6, seed=20)
+        tree = tree_factory(points)
+        indices = tree.root.subtree_indices()
+        assert sorted(indices.tolist()) == list(range(200))
+
+    def test_radius_invariant(self, tree_factory):
+        points = make_factors(150, rank=5, seed=21)
+        tree = tree_factory(points)
+        check_node_invariants(tree.root, points)
+
+    def test_counts_consistent(self, tree_factory):
+        points = make_factors(120, rank=4, seed=22)
+        tree = tree_factory(points)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.count == len(node.indices)
+            else:
+                assert node.count == sum(child.count for child in node.children)
+                for child in node.children:
+                    check(child)
+
+        check(tree.root)
+        assert tree.root.count == 120
+
+    def test_single_point(self, tree_factory):
+        tree = tree_factory(np.array([[1.0, 2.0, 3.0]]))
+        assert tree.root.count == 1
+        assert tree.root.radius == pytest.approx(0.0)
+
+    def test_duplicate_points(self, tree_factory):
+        points = np.tile(np.array([[1.0, -1.0]]), (40, 1))
+        tree = tree_factory(points)
+        assert tree.root.count == 40
+        assert tree.root.radius == pytest.approx(0.0, abs=1e-12)
+
+    def test_num_nodes_positive(self, tree_factory):
+        tree = tree_factory(make_factors(80, rank=4, seed=23))
+        assert tree.num_nodes() >= 1
+        assert len(tree) == 80
+
+
+class TestTreeParameters:
+    def test_cover_tree_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            CoverTree(make_factors(10, seed=1), base=1.0)
+
+    def test_cover_tree_rejects_bad_leaf_size(self):
+        with pytest.raises(ValueError):
+            CoverTree(make_factors(10, seed=1), leaf_size=0)
+
+    def test_ball_tree_rejects_bad_leaf_size(self):
+        with pytest.raises(ValueError):
+            BallTree(make_factors(10, seed=1), leaf_size=0)
+
+    def test_leaf_size_respected_by_ball_tree(self):
+        tree = BallTree(make_factors(100, rank=4, seed=24), leaf_size=5)
+
+        def max_leaf(node):
+            if node.is_leaf:
+                return len(node.indices)
+            return max(max_leaf(child) for child in node.children)
+
+        assert max_leaf(tree.root) <= 5
+
+
+class TestMipsBound:
+    def test_bound_dominates_subtree_scores(self):
+        points = make_factors(150, rank=6, seed=25)
+        tree = CoverTree(points)
+        rng = np.random.default_rng(26)
+        query = rng.standard_normal(6)
+        query_norm = float(np.linalg.norm(query))
+
+        def check(node):
+            indices = node.subtree_indices()
+            best = float((points[indices] @ query).max())
+            assert node.mips_upper_bound(query, query_norm) >= best - 1e-9
+            for child in node.children:
+                check(child)
+
+        check(tree.root)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_property_ball_tree_bound(self, seed):
+        points = make_factors(60, rank=5, seed=seed)
+        tree = BallTree(points, leaf_size=8)
+        rng = np.random.default_rng(seed + 1)
+        query = rng.standard_normal(5)
+        query_norm = float(np.linalg.norm(query))
+        indices = tree.root.subtree_indices()
+        best = float((points[indices] @ query).max())
+        assert tree.root.mips_upper_bound(query, query_norm) >= best - 1e-9
+
+
+class TestTreeSearcher:
+    def setup_method(self):
+        self.points = make_factors(250, rank=8, length_cov=1.0, seed=27)
+        self.searcher = TreeSearcher(CoverTree(self.points), self.points)
+        rng = np.random.default_rng(28)
+        self.query = rng.standard_normal(8)
+
+    def test_above_theta_exact(self):
+        scores = self.points @ self.query
+        boundary = float(np.partition(scores, -20)[-20])
+        smaller = scores[scores < boundary]
+        theta = float((boundary + smaller.max()) / 2.0)
+        indices, values, evaluated = self.searcher.above_theta(self.query, theta)
+        expected = set(np.nonzero(scores >= theta)[0].tolist())
+        assert set(indices.tolist()) == expected
+        np.testing.assert_allclose(values, scores[indices], atol=1e-12)
+        assert evaluated >= len(expected)
+
+    def test_top_k_exact(self):
+        scores = self.points @ self.query
+        indices, values, _ = self.searcher.top_k(self.query, 7)
+        np.testing.assert_allclose(values, -np.sort(-scores)[:7], atol=1e-9)
+        assert len(set(indices.tolist())) == 7
+
+    def test_evaluated_above_contains_results(self):
+        scores = self.points @ self.query
+        boundary = float(np.partition(scores, -15)[-15])
+        smaller = scores[scores < boundary]
+        theta = float((boundary + smaller.max()) / 2.0)
+        reached = set(self.searcher.evaluated_above(self.query, theta).tolist())
+        expected = set(np.nonzero(scores >= theta)[0].tolist())
+        assert expected <= reached
+
+    def test_pruning_happens_for_high_threshold(self):
+        theta = float((self.points @ self.query).max()) * 0.999
+        _, _, evaluated = self.searcher.above_theta(self.query, theta)
+        assert evaluated < len(self.points)
+
+    def test_top_k_larger_than_points(self):
+        indices, values, _ = self.searcher.top_k(self.query, 500)
+        assert indices.size == 250
+        assert values.size == 250

@@ -1,0 +1,150 @@
+"""Tests for the shared utility helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.utils import (
+    Timer,
+    as_float_matrix,
+    check_rank_match,
+    ensure_rng,
+    require_positive,
+    require_positive_int,
+)
+
+
+class TestAsFloatMatrix:
+    def test_converts_lists(self):
+        matrix = as_float_matrix([[1, 2], [3, 4]])
+        assert matrix.dtype == np.float64
+        assert matrix.shape == (2, 2)
+
+    def test_preserves_values(self):
+        matrix = as_float_matrix([[1.5, -2.0]])
+        assert matrix[0, 0] == 1.5
+        assert matrix[0, 1] == -2.0
+
+    def test_is_contiguous(self):
+        source = np.asfortranarray(np.ones((3, 4)))
+        assert as_float_matrix(source).flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidParameterError):
+            as_float_matrix([1.0, 2.0])
+
+    def test_rejects_3d(self):
+        with pytest.raises(InvalidParameterError):
+            as_float_matrix(np.ones((2, 2, 2)))
+
+    def test_rejects_zero_rank(self):
+        with pytest.raises(InvalidParameterError):
+            as_float_matrix(np.ones((3, 0)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            as_float_matrix([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidParameterError):
+            as_float_matrix([[np.inf, 1.0]])
+
+    def test_allows_zero_rows(self):
+        matrix = as_float_matrix(np.empty((0, 5)))
+        assert matrix.shape == (0, 5)
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(InvalidParameterError, match="my_matrix"):
+            as_float_matrix([1.0], name="my_matrix")
+
+
+class TestCheckRankMatch:
+    def test_accepts_matching(self):
+        check_rank_match(np.ones((2, 5)), np.ones((7, 5)))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            check_rank_match(np.ones((2, 5)), np.ones((7, 6)))
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive(float("inf"), "x")
+
+
+class TestRequirePositiveInt:
+    def test_accepts_int(self):
+        assert require_positive_int(3, "k") == 3
+
+    def test_accepts_numpy_int(self):
+        assert require_positive_int(np.int64(4), "k") == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(0, "k")
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(-2, "k")
+
+    def test_rejects_float(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(2.0, "k")
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(True, "k")
+
+
+class TestEnsureRng:
+    def test_seed_reproducible(self):
+        a = ensure_rng(42).standard_normal(5)
+        b = ensure_rng(42).standard_normal(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_passes_through_generator(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        with timer:
+            sum(range(100))
+        first = timer.elapsed
+        with timer:
+            sum(range(100))
+        assert timer.elapsed >= first
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0

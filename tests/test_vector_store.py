@@ -1,0 +1,111 @@
+"""Tests for the length/direction decomposition (VectorStore, PreparedQueries)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.vector_store import PreparedQueries, VectorStore
+from tests.conftest import make_factors
+
+
+class TestVectorStore:
+    def test_lengths_sorted_decreasing(self):
+        store = VectorStore(make_factors(50, seed=0))
+        assert np.all(np.diff(store.lengths) <= 1e-12)
+
+    def test_directions_unit_length(self):
+        store = VectorStore(make_factors(50, seed=1))
+        norms = np.linalg.norm(store.directions, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-12)
+
+    def test_ids_are_permutation(self):
+        store = VectorStore(make_factors(64, seed=2))
+        assert sorted(store.ids.tolist()) == list(range(64))
+
+    def test_reconstruction_matches_original(self):
+        original = make_factors(30, seed=3)
+        store = VectorStore(original)
+        for position in range(store.size):
+            np.testing.assert_allclose(store.vector(position), original[store.ids[position]], atol=1e-12)
+
+    def test_vectors_range_reconstruction(self):
+        original = make_factors(30, seed=4)
+        store = VectorStore(original)
+        block = store.vectors(5, 15)
+        for offset, position in enumerate(range(5, 15)):
+            np.testing.assert_allclose(block[offset], original[store.ids[position]], atol=1e-12)
+
+    def test_zero_vector_direction_is_zero(self):
+        matrix = np.vstack([np.ones((2, 4)), np.zeros((1, 4))])
+        store = VectorStore(matrix)
+        assert store.lengths[-1] == 0.0
+        np.testing.assert_array_equal(store.directions[-1], np.zeros(4))
+
+    def test_len(self):
+        assert len(VectorStore(make_factors(17, seed=5))) == 17
+
+    def test_rank_recorded(self):
+        assert VectorStore(make_factors(10, rank=7, seed=6)).rank == 7
+
+    def test_stable_tie_order(self):
+        matrix = np.tile(np.array([[3.0, 4.0]]), (4, 1))
+        store = VectorStore(matrix)
+        np.testing.assert_array_equal(store.ids, np.arange(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 20), st.integers(1, 8)),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    def test_property_decomposition_roundtrip(self, matrix):
+        store = VectorStore(matrix)
+        reconstructed = np.empty_like(matrix)
+        reconstructed[store.ids] = store.directions * store.lengths[:, None]
+        np.testing.assert_allclose(reconstructed, matrix, atol=1e-9)
+
+
+class TestPreparedQueries:
+    def test_norms_sorted_decreasing(self):
+        prepared = PreparedQueries(make_factors(40, seed=7))
+        assert np.all(np.diff(prepared.norms) <= 1e-12)
+
+    def test_directions_unit(self):
+        prepared = PreparedQueries(make_factors(40, seed=8))
+        np.testing.assert_allclose(np.linalg.norm(prepared.directions, axis=1), 1.0, atol=1e-12)
+
+    def test_ids_permutation(self):
+        prepared = PreparedQueries(make_factors(25, seed=9))
+        assert sorted(prepared.ids.tolist()) == list(range(25))
+
+    def test_focus_coordinates_ordered_by_magnitude(self):
+        prepared = PreparedQueries(make_factors(10, rank=8, seed=10))
+        focus = prepared.focus_coordinates(0, 4)
+        magnitudes = np.abs(prepared.directions[0][focus])
+        assert np.all(np.diff(magnitudes) <= 1e-12)
+        assert len(focus) == 4
+
+    def test_focus_coordinates_clipped_to_rank(self):
+        prepared = PreparedQueries(make_factors(5, rank=6, seed=11))
+        focus = prepared.focus_coordinates(2, 100)
+        assert len(focus) == 6
+        assert sorted(focus.tolist()) == list(range(6))
+
+    def test_focus_coordinates_pick_largest(self):
+        queries = np.array([[0.1, 5.0, -7.0, 0.2]])
+        prepared = PreparedQueries(queries)
+        focus = prepared.focus_coordinates(0, 2)
+        assert set(focus.tolist()) == {1, 2}
+
+    def test_empty_queries_allowed(self):
+        prepared = PreparedQueries(np.empty((0, 4)))
+        assert prepared.size == 0
+
+    def test_len(self):
+        assert len(PreparedQueries(make_factors(13, seed=12))) == 13
