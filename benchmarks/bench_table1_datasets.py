@@ -14,7 +14,7 @@ from repro.baselines import NaiveRetriever
 from repro.datasets import dataset_statistics
 from repro.eval import format_table
 
-from benchmarks.conftest import BENCH_SEED, write_report
+from benchmarks.conftest import write_report
 
 DATASETS = ("ie-nmf", "ie-svd", "netflix", "kdd")
 

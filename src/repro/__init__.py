@@ -10,19 +10,25 @@ The package provides:
 * a matrix-factorisation substrate and synthetic dataset generators matching
   the paper's dataset statistics (``repro.mf``, ``repro.datasets``);
 * an evaluation harness that regenerates every table and figure of the paper
-  (``repro.eval`` and the top-level ``benchmarks/`` directory).
+  (``repro.eval`` and the top-level ``benchmarks/`` directory);
+* a serving-oriented engine layer (``repro.engine``): a string-spec retriever
+  registry, a batched-query facade with incremental index updates, and index
+  persistence.
 
 Quick start
 -----------
 >>> import numpy as np
->>> from repro import Lemp
+>>> from repro import RetrievalEngine
 >>> rng = np.random.default_rng(0)
 >>> queries = rng.standard_normal((100, 16))
 >>> probes = rng.standard_normal((500, 16))
->>> retriever = Lemp(algorithm="LI").fit(probes)
->>> top = retriever.row_top_k(queries, k=5)
+>>> engine = RetrievalEngine("lemp:LI", seed=0).fit(probes)
+>>> top = engine.query(queries).batch_size(64).top_k(5)
 >>> top.indices.shape
 (100, 5)
+
+See the top-level ``README.md`` for the registry spec list, incremental
+updates (``partial_fit`` / ``remove``), and ``save`` / ``load`` persistence.
 """
 
 from repro.core import (
@@ -34,16 +40,24 @@ from repro.core import (
     TopKResult,
     VectorStore,
 )
+from repro.engine import (
+    RetrievalEngine,
+    available_specs,
+    create_retriever,
+    register_retriever,
+)
 from repro.exceptions import (
     DimensionMismatchError,
     InvalidParameterError,
     NotPreparedError,
+    PersistenceError,
     ReproError,
     UnknownAlgorithmError,
     UnknownDatasetError,
+    UnsupportedOperationError,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -52,12 +66,18 @@ __all__ = [
     "InvalidParameterError",
     "Lemp",
     "NotPreparedError",
+    "PersistenceError",
     "ReproError",
+    "RetrievalEngine",
     "Retriever",
     "RunStats",
     "TopKResult",
     "UnknownAlgorithmError",
     "UnknownDatasetError",
+    "UnsupportedOperationError",
     "VectorStore",
     "__version__",
+    "available_specs",
+    "create_retriever",
+    "register_retriever",
 ]

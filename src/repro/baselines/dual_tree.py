@@ -23,6 +23,7 @@ from repro.baselines.cover_tree import CoverTree
 from repro.baselines.tree_node import TreeNode
 from repro.core.api import Retriever
 from repro.core.results import AboveThetaResult, TopKResult
+from repro.engine.registry import register_retriever
 from repro.utils.timer import Timer
 from repro.utils.validation import as_float_matrix, check_rank_match, require_positive_int
 
@@ -40,6 +41,13 @@ def pair_upper_bound(query_node: TreeNode, probe_node: TreeNode) -> float:
     )
 
 
+@register_retriever(
+    "dtree",
+    variant_kw="tree_type",
+    variants=("cover", "ball"),
+    default_variant="cover",
+    aliases=("d-tree",),
+)
 class DualTreeRetriever(Retriever):
     """Dual-tree retrieval over trees built on both the probe and query matrices."""
 
@@ -55,6 +63,18 @@ class DualTreeRetriever(Retriever):
         self.seed = seed
         self._probes: np.ndarray | None = None
         self._probe_tree = None
+
+    def get_params(self) -> dict:
+        return {
+            "tree_type": self.tree_type,
+            "base": self.base,
+            "leaf_size": self.leaf_size,
+            "seed": self.seed,
+        }
+
+    @property
+    def num_probes(self) -> int | None:
+        return None if self._probes is None else int(self._probes.shape[0])
 
     def _build_tree(self, points: np.ndarray):
         if self.tree_type == "cover":

@@ -12,10 +12,17 @@ import numpy as np
 
 from repro.core.api import Retriever
 from repro.core.results import AboveThetaResult, TopKResult
+from repro.engine.registry import register_retriever
 from repro.utils.timer import Timer
-from repro.utils.validation import as_float_matrix, check_rank_match, require_positive_int
+from repro.utils.validation import (
+    as_float_matrix,
+    check_rank_match,
+    require_positive_int,
+    validate_probe_ids,
+)
 
 
+@register_retriever("naive")
 class NaiveRetriever(Retriever):
     """Full-product retrieval with blocked matrix multiplication."""
 
@@ -27,9 +34,34 @@ class NaiveRetriever(Retriever):
         self.block_size = block_size
         self._probes: np.ndarray | None = None
 
+    def get_params(self) -> dict:
+        return {"block_size": self.block_size}
+
+    @property
+    def num_probes(self) -> int | None:
+        return None if self._probes is None else int(self._probes.shape[0])
+
     def fit(self, probes) -> "NaiveRetriever":
         self._probes = as_float_matrix(probes, "probes")
         self._fitted = True
+        return self
+
+    def partial_fit(self, new_probes) -> "NaiveRetriever":
+        """Append new probe rows; they get ids ``size, size + 1, ...``."""
+        if not self._fitted:
+            return self.fit(new_probes)
+        new_probes = as_float_matrix(new_probes, "new_probes")
+        check_rank_match(new_probes, self._probes)
+        self._probes = np.vstack([self._probes, new_probes])
+        return self
+
+    def remove(self, probe_ids) -> "NaiveRetriever":
+        """Drop probe rows by id; survivors are renumbered consecutively."""
+        self._require_fitted()
+        probe_ids = validate_probe_ids(probe_ids, self._probes.shape[0])
+        if probe_ids.size == 0:
+            return self
+        self._probes = np.ascontiguousarray(np.delete(self._probes, probe_ids, axis=0))
         return self
 
     def _blocks(self, queries: np.ndarray):
@@ -75,7 +107,7 @@ class NaiveRetriever(Retriever):
         indices = np.full((num_queries, k), -1, dtype=np.int64)
         scores = np.full((num_queries, k), -np.inf)
         with Timer() as timer:
-            for start, block in self._blocks(queries):
+            for start, block in self._blocks(queries) if effective_k > 0 else ():
                 top = np.argpartition(-block, effective_k - 1, axis=1)[:, :effective_k]
                 top_scores = np.take_along_axis(block, top, axis=1)
                 order = np.argsort(-top_scores, axis=1, kind="stable")

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.api import Retriever
 from repro.core.results import AboveThetaResult, TopKResult
+from repro.engine.registry import register_retriever
 from repro.utils.timer import Timer
 from repro.utils.validation import as_float_matrix, check_rank_match, require_positive_int
 
@@ -41,6 +42,9 @@ class TASortedLists:
         self.values = np.ascontiguousarray(np.take_along_axis(probes, order, axis=0).T)
 
 
+@register_retriever(
+    "ta", variant_kw="strategy", variants=("blocked", "heap"), default_variant="blocked"
+)
 class TARetriever(Retriever):
     """Threshold-algorithm retriever over the full probe matrix."""
 
@@ -55,6 +59,13 @@ class TARetriever(Retriever):
         self.block_size = block_size
         self._probes: np.ndarray | None = None
         self._lists: TASortedLists | None = None
+
+    def get_params(self) -> dict:
+        return {"strategy": self.strategy, "block_size": self.block_size}
+
+    @property
+    def num_probes(self) -> int | None:
+        return None if self._probes is None else int(self._probes.shape[0])
 
     def fit(self, probes) -> "TARetriever":
         self._probes = as_float_matrix(probes, "probes")

@@ -19,6 +19,7 @@ from repro.baselines.ball_tree import BallTree
 from repro.baselines.cover_tree import CoverTree
 from repro.core.api import Retriever
 from repro.core.results import AboveThetaResult, TopKResult
+from repro.engine.registry import register_retriever
 from repro.utils.timer import Timer
 from repro.utils.validation import as_float_matrix, check_rank_match
 
@@ -122,6 +123,9 @@ class TreeSearcher:
         return indices, scores, evaluated
 
 
+@register_retriever(
+    "tree", variant_kw="tree_type", variants=("cover", "ball"), default_variant="cover"
+)
 class SingleTreeRetriever(Retriever):
     """The paper's "Tree" baseline: one cover tree (or ball tree) over all probes."""
 
@@ -137,6 +141,18 @@ class SingleTreeRetriever(Retriever):
         self.seed = seed
         self._searcher: TreeSearcher | None = None
         self._probes: np.ndarray | None = None
+
+    def get_params(self) -> dict:
+        return {
+            "tree_type": self.tree_type,
+            "base": self.base,
+            "leaf_size": self.leaf_size,
+            "seed": self.seed,
+        }
+
+    @property
+    def num_probes(self) -> int | None:
+        return None if self._probes is None else int(self._probes.shape[0])
 
     def fit(self, probes) -> "SingleTreeRetriever":
         self._probes = as_float_matrix(probes, "probes")

@@ -2,25 +2,34 @@
 
 Usage (after ``pip install -e .``)::
 
+    python -m repro --version                        # print the library version
     python -m repro datasets                         # list the synthetic datasets
     python -m repro topk --dataset netflix --k 10    # Row-Top-k with LEMP
     python -m repro above --dataset ie-svd --results 1000
+    python -m repro index --dataset netflix --spec lemp:LI --out idx/
     python -m repro tables --which table3 table4     # regenerate paper tables
 
-The CLI is a thin wrapper around the library: every sub-command prints the
-same statistics the benchmark harness records (total / preprocessing / tuning
-time and candidates per query) so the paper's experiments can be replayed
-interactively.
+The CLI is a thin wrapper around the library: retrievers are constructed from
+registry specs (``lemp:LI``, ``naive``, ``tree:cover``, …; the paper names
+``LEMP-LI`` / ``Naive`` / ``D-Tree`` keep working), and every sub-command
+prints the same statistics the benchmark harness records (total /
+preprocessing / tuning time and candidates per query) so the paper's
+experiments can be replayed interactively.  ``index`` builds an index once,
+persists it, and verifies the reloaded copy — the starting point for serving
+deployments.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from repro.core.lemp import ALGORITHMS
+import numpy as np
+
 from repro.datasets import DATASET_NAMES, dataset_statistics, load_dataset
 from repro.datasets.registry import SCALES
+from repro.engine import RetrievalEngine, available_specs
 from repro.eval import (
     format_table,
     make_retriever,
@@ -29,6 +38,7 @@ from repro.eval import (
     theta_for_result_count,
 )
 from repro.eval import experiments as experiment_definitions
+from repro.exceptions import ReproError
 
 #: Table/figure identifiers accepted by the ``tables`` sub-command.
 TABLE_BUILDERS = {
@@ -62,15 +72,19 @@ TABLE_BUILDERS = {
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed separately for testing)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("datasets", help="list the synthetic datasets and their statistics")
 
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--dataset", default="netflix", choices=DATASET_NAMES)
-    common.add_argument("--algorithm", default="LEMP-LI",
-                        help="Naive, TA, Tree, D-Tree or LEMP-<X> with X in " + ", ".join(ALGORITHMS))
+    common.add_argument("--algorithm", default="lemp:LI",
+                        help="registry spec (" + ", ".join(available_specs())
+                             + ") or paper name (Naive, TA, Tree, D-Tree, LEMP-<X>)")
     common.add_argument("--scale", default="tiny", choices=sorted(SCALES))
     common.add_argument("--seed", type=int, default=0)
 
@@ -82,6 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--theta", type=float, default=None, help="explicit threshold")
     group.add_argument("--results", type=int, default=1000,
                        help="recall level: pick θ so this many entries qualify")
+
+    index = subparsers.add_parser(
+        "index", help="build a persistent index for a dataset (save, reload, verify)"
+    )
+    index.add_argument("--dataset", default="netflix", choices=DATASET_NAMES)
+    index.add_argument("--spec", default="lemp:LI",
+                       help="retriever registry spec, e.g. lemp:LI, naive, tree:cover")
+    index.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    index.add_argument("--seed", type=int, default=0)
+    index.add_argument("--out", required=True, help="directory the index is written to")
+    index.add_argument("--skip-verify", action="store_true",
+                       help="skip the reload-and-compare verification pass")
 
     tables = subparsers.add_parser("tables", help="regenerate paper tables/figures")
     tables.add_argument("--which", nargs="+", default=["table3"], choices=sorted(TABLE_BUILDERS))
@@ -149,6 +175,36 @@ def _command_above(args, out) -> int:
     return 0
 
 
+def _command_index(args, out) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    engine = RetrievalEngine(args.spec, seed=args.seed).fit(dataset.probes)
+    engine.save(args.out)
+
+    rows = [
+        ["spec", args.spec],
+        ["dataset", dataset.name],
+        ["probes", engine.num_probes],
+        ["rank", dataset.probes.shape[1]],
+        ["preprocessing seconds", round(engine.stats.preprocessing_seconds, 4)],
+        ["output", str(Path(args.out))],
+    ]
+    if not args.skip_verify:
+        reloaded = RetrievalEngine.load(args.out)
+        sample = dataset.queries[: min(32, dataset.queries.shape[0])]
+        expected = engine.row_top_k(sample, 5)
+        actual = reloaded.row_top_k(sample, 5)
+        identical = bool(
+            np.array_equal(expected.indices, actual.indices)
+            and np.array_equal(expected.scores, actual.scores)
+        )
+        rows.append(["reload verified", "ok" if identical else "MISMATCH"])
+        if not identical:
+            print(format_table(["metric", "value"], rows), file=out)
+            return 1
+    print(format_table(["metric", "value"], rows), file=out)
+    return 0
+
+
 def _table1(scale, seed):
     rows = experiment_definitions.table1_dataset_statistics(scale=scale, seed=seed)
     headers = ["name", "num_queries", "num_probes", "rank",
@@ -193,16 +249,27 @@ def _command_tables(args, out) -> int:
 
 
 def main(argv=None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (unknown spec, unsupported operation, bad parameters —
+    anything deriving from :class:`~repro.exceptions.ReproError`) are printed
+    as one-line messages with exit code 2 instead of tracebacks.
+    """
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    if args.command == "datasets":
-        return _command_datasets(args, out)
-    if args.command == "topk":
-        return _command_topk(args, out)
-    if args.command == "above":
-        return _command_above(args, out)
-    return _command_tables(args, out)
+    try:
+        if args.command == "datasets":
+            return _command_datasets(args, out)
+        if args.command == "topk":
+            return _command_topk(args, out)
+        if args.command == "above":
+            return _command_above(args, out)
+        if args.command == "index":
+            return _command_index(args, out)
+        return _command_tables(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -61,7 +61,10 @@ def solve_above_theta(
             stats.candidates += int(candidates.size)
             if candidates.size == 0:
                 continue
-            cosines = bucket_directions[candidates] @ query_direction
+            # einsum (not @) keeps each row's rounding independent of the
+            # candidate-set size, so scores are bit-identical across different
+            # tuning outcomes, incremental updates, and index reloads.
+            cosines = np.einsum("ij,j->i", bucket_directions[candidates], query_direction)
             scores = cosines * (query_norm * bucket_lengths[candidates])
             stats.inner_products += int(candidates.size)
             hits = scores >= theta - _VERIFY_SLACK

@@ -75,24 +75,56 @@ def bucketize(
     """
     if store.size == 0:
         raise InvalidParameterError("cannot bucketise an empty probe store")
+    boundaries = greedy_boundaries(
+        store.lengths,
+        store.rank,
+        min_bucket_size=min_bucket_size,
+        max_bucket_size=max_bucket_size,
+        length_ratio=length_ratio,
+        cache_kib=cache_kib,
+    )
+    buckets = [
+        Bucket(store, start, end, index)
+        for index, (start, end) in enumerate(zip(boundaries[:-1], boundaries[1:]))
+    ]
+    return buckets
+
+
+def greedy_boundaries(
+    lengths: np.ndarray,
+    rank: int,
+    min_bucket_size: int = 30,
+    max_bucket_size: int | None = None,
+    length_ratio: float = 0.9,
+    cache_kib: float | None = DEFAULT_CACHE_KIB,
+) -> list[int]:
+    """Greedy bucket boundaries over a decreasing length array.
+
+    Shared by :func:`bucketize` and LEMP's incremental ``partial_fit`` /
+    ``remove``, which re-run the boundary scan after every update so that the
+    bucket layout (and therefore query results, bit for bit) matches a fresh
+    fit on the updated probe matrix.  Returns ``[0, b1, ..., len(lengths)]``.
+    """
     if not 0.0 < length_ratio <= 1.0:
         raise InvalidParameterError(f"length_ratio must be in (0, 1], got {length_ratio}")
     if min_bucket_size < 1:
         raise InvalidParameterError(f"min_bucket_size must be >= 1, got {min_bucket_size}")
 
     if max_bucket_size is None and cache_kib is not None:
-        max_bucket_size = max_bucket_size_for_cache(store.rank, cache_kib)
+        max_bucket_size = max_bucket_size_for_cache(rank, cache_kib)
     if max_bucket_size is not None and max_bucket_size < 1:
         raise InvalidParameterError(f"max_bucket_size must be >= 1, got {max_bucket_size}")
     if max_bucket_size is not None and max_bucket_size < min_bucket_size:
         # A tight cache budget wins over the minimum-size heuristic.
         min_bucket_size = max_bucket_size
 
-    lengths = store.lengths
+    size = int(lengths.shape[0])
     boundaries = [0]
+    if size == 0:
+        return boundaries
     bucket_start = 0
     bucket_max = lengths[0]
-    for position in range(1, store.size):
+    for position in range(1, size):
         current_size = position - bucket_start
         too_large = max_bucket_size is not None and current_size >= max_bucket_size
         length_drop = lengths[position] < length_ratio * bucket_max
@@ -100,13 +132,8 @@ def bucketize(
             boundaries.append(position)
             bucket_start = position
             bucket_max = lengths[position]
-    boundaries.append(store.size)
-
-    buckets = [
-        Bucket(store, start, end, index)
-        for index, (start, end) in enumerate(zip(boundaries[:-1], boundaries[1:]))
-    ]
-    return buckets
+    boundaries.append(size)
+    return boundaries
 
 
 def bucket_boundaries(buckets: list[Bucket]) -> np.ndarray:

@@ -26,7 +26,8 @@ import numpy as np
 
 from repro.core.above_theta import solve_above_theta
 from repro.core.api import Retriever
-from repro.core.bucketize import DEFAULT_CACHE_KIB, bucketize
+from repro.core.bucket import Bucket
+from repro.core.bucketize import DEFAULT_CACHE_KIB, bucketize, greedy_boundaries
 from repro.core.results import AboveThetaResult, TopKResult
 from repro.core.retrievers import (
     BlshBucketRetriever,
@@ -41,9 +42,15 @@ from repro.core.selector import DEFAULT_PHI, FixedSelector, PerBucketSelector
 from repro.core.top_k import solve_row_top_k
 from repro.core.tuner import DEFAULT_PHI_GRID, DEFAULT_SAMPLE_SIZE, tune_mixed, tune_phi
 from repro.core.vector_store import PreparedQueries, VectorStore
+from repro.engine.registry import register_retriever
 from repro.exceptions import DimensionMismatchError, UnknownAlgorithmError
 from repro.utils.timer import Timer
-from repro.utils.validation import require_positive, require_positive_int
+from repro.utils.validation import (
+    as_float_matrix,
+    require_positive,
+    require_positive_int,
+    validate_probe_ids,
+)
 
 #: Names of all supported bucket algorithms.
 ALGORITHMS = ("L", "C", "I", "TA", "TREE", "L2AP", "BLSH", "LC", "LI")
@@ -52,6 +59,9 @@ ALGORITHMS = ("L", "C", "I", "TA", "TREE", "L2AP", "BLSH", "LC", "LI")
 _TOPK_TUNING_SEED_PROBES = 200
 
 
+@register_retriever(
+    "lemp", variant_kw="algorithm", variants=ALGORITHMS, default_variant="LI"
+)
 class Lemp(Retriever):
     """LEMP retriever over a fixed probe matrix.
 
@@ -124,6 +134,140 @@ class Lemp(Retriever):
     def num_buckets(self) -> int:
         """Number of buckets the probe matrix was split into."""
         return len(self.buckets)
+
+    @property
+    def num_probes(self) -> int | None:
+        """Number of indexed probe rows, or ``None`` before :meth:`fit`."""
+        return None if self.store is None else self.store.size
+
+    def get_params(self) -> dict:
+        """Constructor arguments needed to rebuild an equivalent retriever."""
+        return {
+            "algorithm": self.algorithm,
+            "min_bucket_size": self.min_bucket_size,
+            "max_bucket_size": self.max_bucket_size,
+            "length_ratio": self.length_ratio,
+            "cache_kib": self.cache_kib,
+            "phi": self.phi,
+            "tune_sample": self.tune_sample,
+            "phi_grid": list(self.phi_grid),
+            "seed": self.seed,
+        }
+
+    # -------------------------------------------------- incremental maintenance
+
+    def _bucket_bounds(self) -> np.ndarray:
+        bounds = [bucket.start for bucket in self.buckets]
+        bounds.append(self.buckets[-1].end if self.buckets else 0)
+        return np.asarray(bounds, dtype=np.intp)
+
+    def _rebucketize(self, preserved: dict[tuple[int, int], Bucket]) -> None:
+        """Re-run the greedy boundary scan, reusing unchanged buckets.
+
+        ``preserved`` maps a ``(start, end)`` span in the *updated* store to
+        the old :class:`Bucket` whose content occupies exactly that span.
+        Wherever the fresh boundaries reproduce such a span, the old bucket —
+        with its cached sorted lists / CP arrays / trees — is kept; only
+        buckets whose content actually changed are rebuilt.  Because the
+        boundary scan is the same one :meth:`fit` runs, the resulting layout
+        (and therefore every query result, bit for bit) matches a fresh fit
+        on the updated probe matrix.
+        """
+        boundaries = greedy_boundaries(
+            self.store.lengths,
+            self.store.rank,
+            min_bucket_size=self.min_bucket_size,
+            max_bucket_size=self.max_bucket_size,
+            length_ratio=self.length_ratio,
+            cache_kib=self.cache_kib,
+        )
+        buckets: list[Bucket] = []
+        for index, (start, end) in enumerate(zip(boundaries[:-1], boundaries[1:])):
+            bucket = preserved.get((start, end))
+            if bucket is not None:
+                bucket.start, bucket.end, bucket.index = start, end, index
+                buckets.append(bucket)
+            else:
+                buckets.append(Bucket(self.store, start, end, index))
+        self.buckets = buckets
+
+    def partial_fit(self, new_probes) -> "Lemp":
+        """Insert new probe rows into the fitted index.
+
+        Each new probe is merged into the length-sorted store (an O(n + m)
+        sorted merge, not a re-sort), the greedy bucket boundaries are
+        recomputed over the merged lengths, and every bucket that received no
+        insertion keeps its cached per-bucket indexes.  The new rows get ids
+        ``size, size + 1, ...`` and the index becomes indistinguishable from a
+        fresh :meth:`fit` on the concatenated probe matrix — query results
+        match bit for bit.
+        """
+        if not self._fitted:
+            return self.fit(new_probes)
+        with Timer() as timer:
+            old_buckets = list(self.buckets)
+            positions = self.store.merge(new_probes)
+            preserved: dict[tuple[int, int], Bucket] = {}
+            for bucket in old_buckets:
+                # The bucket's content stays contiguous iff no insertion fell
+                # strictly inside it (an insert at position start lands just
+                # before the bucket; one at end lands just after it).
+                before = int(np.searchsorted(positions, bucket.start, side="right"))
+                inside = int(np.searchsorted(positions, bucket.end - 1, side="right"))
+                if before == inside:
+                    preserved[(bucket.start + before, bucket.end + before)] = bucket
+            self._rebucketize(preserved)
+        self.stats.preprocessing_seconds += timer.elapsed
+        return self
+
+    def remove(self, probe_ids) -> "Lemp":
+        """Remove probe rows by original id from the fitted index.
+
+        Surviving probes are renumbered to consecutive ids in original row
+        order, the greedy boundaries are recomputed, and buckets that lost no
+        probes keep their cached indexes — again matching a fresh :meth:`fit`
+        on the reduced probe matrix bit for bit.
+        """
+        self._require_fitted()
+        probe_ids = validate_probe_ids(probe_ids, self.store.size)
+        if probe_ids.size == 0:
+            return self
+        with Timer() as timer:
+            positions = np.nonzero(np.isin(self.store.ids, probe_ids))[0]
+            old_buckets = list(self.buckets)
+            preserved: dict[tuple[int, int], Bucket] = {}
+            for bucket in old_buckets:
+                before = int(np.searchsorted(positions, bucket.start, side="left"))
+                through = int(np.searchsorted(positions, bucket.end, side="left"))
+                if before == through:
+                    preserved[(bucket.start - before, bucket.end - before)] = bucket
+            self.store.delete(positions)
+            self._rebucketize(preserved)
+        self.stats.preprocessing_seconds += timer.elapsed
+        return self
+
+    # ------------------------------------------------------------- persistence
+
+    def index_state(self) -> dict[str, np.ndarray]:
+        """Export the fitted length-sorted store and bucket boundaries."""
+        self._require_fitted()
+        return {
+            "ids": self.store.ids,
+            "lengths": self.store.lengths,
+            "directions": self.store.directions,
+            "bounds": self._bucket_bounds(),
+        }
+
+    def restore_index(self, probes, state) -> "Lemp":
+        """Rebuild the index from :meth:`index_state` arrays without refitting."""
+        self.store = VectorStore.from_state(state["ids"], state["lengths"], state["directions"])
+        bounds = np.asarray(state["bounds"], dtype=np.intp)
+        self.buckets = [
+            Bucket(self.store, int(start), int(end), index)
+            for index, (start, end) in enumerate(zip(bounds[:-1], bounds[1:]))
+        ]
+        self._fitted = True
+        return self
 
     def _check_rank(self, prepared: PreparedQueries) -> None:
         if prepared.rank != self.store.rank:
@@ -257,7 +401,7 @@ class Lemp(Retriever):
         construct ``Lemp().fit(queries)`` once and call :meth:`row_top_k`.
         """
         self._require_fitted()
-        queries = np.asarray(queries, dtype=np.float64)
+        queries = as_float_matrix(queries, "queries")
         swapped = Lemp(
             algorithm=self.algorithm,
             min_bucket_size=self.min_bucket_size,

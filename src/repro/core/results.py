@@ -33,6 +33,33 @@ class AboveThetaResult:
         self.probe_ids = np.asarray(self.probe_ids, dtype=np.int64)
         self.scores = np.asarray(self.scores, dtype=np.float64)
 
+    @classmethod
+    def empty(cls, theta: float) -> "AboveThetaResult":
+        """An Above-θ result with no matches (well-typed empty arrays)."""
+        return cls(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0), float(theta)
+        )
+
+    @classmethod
+    def concat(cls, parts, theta: float, query_offsets=None) -> "AboveThetaResult":
+        """Merge per-batch results into one result over the full query matrix.
+
+        ``query_offsets[i]`` is the row offset of batch ``i`` within the full
+        query matrix; batch-local query ids are shifted by it.  An empty
+        ``parts`` list (zero queries) yields a well-typed empty result.
+        """
+        parts = list(parts)
+        if query_offsets is None:
+            query_offsets = [0] * len(parts)
+        if not parts:
+            return cls.empty(theta)
+        return cls(
+            np.concatenate([part.query_ids + offset for part, offset in zip(parts, query_offsets)]),
+            np.concatenate([part.probe_ids for part in parts]),
+            np.concatenate([part.scores for part in parts]),
+            float(theta),
+        )
+
     def __len__(self) -> int:
         return int(self.query_ids.shape[0])
 
@@ -76,6 +103,28 @@ class TopKResult:
     def __post_init__(self) -> None:
         self.indices = np.asarray(self.indices, dtype=np.int64)
         self.scores = np.asarray(self.scores, dtype=np.float64)
+        if self.indices.ndim == 1 and self.indices.size == 0:
+            # Zero queries passed as flat empties must still present the
+            # documented (num_queries, k) shape.
+            self.indices = self.indices.reshape(0, self.k)
+            self.scores = self.scores.reshape(0, self.k)
+
+    @classmethod
+    def empty(cls, k: int) -> "TopKResult":
+        """A Row-Top-k result for zero queries (shape ``(0, k)``)."""
+        return cls(np.empty((0, k), dtype=np.int64), np.full((0, k), -np.inf), k)
+
+    @classmethod
+    def concat(cls, parts, k: int) -> "TopKResult":
+        """Stack per-batch results (batches partition the query rows)."""
+        parts = list(parts)
+        if not parts:
+            return cls.empty(k)
+        return cls(
+            np.vstack([part.indices for part in parts]),
+            np.vstack([part.scores for part in parts]),
+            k,
+        )
 
     @property
     def num_queries(self) -> int:

@@ -61,7 +61,9 @@ def solve_row_top_k(
             stats.candidates += int(candidates.size)
             if candidates.size == 0:
                 continue
-            cosines = bucket.directions[candidates] @ query_direction
+            # einsum (not @) keeps each row's rounding independent of the
+            # candidate-set size; see the matching comment in above_theta.py.
+            cosines = np.einsum("ij,j->i", bucket.directions[candidates], query_direction)
             candidate_scores = cosines * bucket.lengths[candidates]
             stats.inner_products += int(candidates.size)
 

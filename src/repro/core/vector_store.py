@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exceptions import DimensionMismatchError
 from repro.utils.validation import as_float_matrix
 
 
@@ -48,8 +49,74 @@ class VectorStore:
         self.rank = matrix.shape[1]
         self.size = matrix.shape[0]
 
+    @classmethod
+    def from_state(cls, ids, lengths, directions) -> "VectorStore":
+        """Rebuild a store from previously exported arrays, skipping the
+        norm/sort computations of :meth:`__init__` (used by index loading)."""
+        store = cls.__new__(cls)
+        store.ids = np.asarray(ids, dtype=np.intp)
+        store.lengths = np.ascontiguousarray(np.asarray(lengths, dtype=np.float64))
+        store.directions = np.ascontiguousarray(np.asarray(directions, dtype=np.float64))
+        store.size, store.rank = store.directions.shape
+        return store
+
     def __len__(self) -> int:
         return self.size
+
+    # --------------------------------------------------------------- updates
+
+    def merge(self, vectors) -> np.ndarray:
+        """Insert new vectors into the length-sorted arrays.
+
+        The new rows receive ids ``size, size + 1, ...`` so the store is
+        indistinguishable from one built on the concatenated matrix (ties in
+        length placed after existing equal-length vectors, matching the stable
+        sort of :meth:`__init__`).
+
+        Returns the *pre-insertion* positions (into the old arrays, sorted
+        ascending) at which the new vectors were placed, so callers that slice
+        the store (buckets) can shift their boundaries.
+        """
+        matrix = as_float_matrix(vectors, "vectors")
+        if matrix.shape[1] != self.rank:
+            raise DimensionMismatchError(
+                f"new vectors must have rank {self.rank}, got {matrix.shape[1]}"
+            )
+        new_lengths = np.linalg.norm(matrix, axis=1)
+        # Order the batch by decreasing length (stable: ties keep row order),
+        # then find where each lands in the existing descending array.  Using
+        # side="right" on the negated (ascending) lengths places new vectors
+        # after existing equal-length ones, as a fresh stable sort would.
+        batch_order = np.argsort(-new_lengths, kind="stable")
+        sorted_new_lengths = new_lengths[batch_order]
+        positions = np.searchsorted(-self.lengths, -sorted_new_lengths, side="right")
+
+        safe = np.where(sorted_new_lengths > 0.0, sorted_new_lengths, 1.0)
+        new_directions = matrix[batch_order] / safe[:, None]
+        new_ids = self.size + batch_order
+
+        self.lengths = np.insert(self.lengths, positions, sorted_new_lengths)
+        self.directions = np.ascontiguousarray(
+            np.insert(self.directions, positions, new_directions, axis=0)
+        )
+        self.ids = np.insert(self.ids, positions, new_ids)
+        self.size = self.lengths.shape[0]
+        return positions
+
+    def delete(self, positions) -> None:
+        """Remove the vectors at the given sorted-array positions.
+
+        The surviving vectors are renumbered to consecutive ids in original
+        row order, matching a fresh build on the reduced matrix.
+        """
+        positions = np.asarray(positions, dtype=np.intp)
+        self.lengths = np.delete(self.lengths, positions)
+        self.directions = np.ascontiguousarray(np.delete(self.directions, positions, axis=0))
+        remaining = np.delete(self.ids, positions)
+        rank_of = np.empty(remaining.size, dtype=np.intp)
+        rank_of[np.argsort(remaining, kind="stable")] = np.arange(remaining.size)
+        self.ids = rank_of
+        self.size = self.lengths.shape[0]
 
     def vector(self, position: int) -> np.ndarray:
         """Reconstruct the original (unnormalised) vector stored at ``position``."""

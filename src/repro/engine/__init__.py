@@ -1,0 +1,43 @@
+"""Engine layer: retriever registry, batched-query facade, and persistence.
+
+This package is the serving-oriented surface over the algorithmic core:
+
+* :func:`create_retriever` / :func:`register_retriever` — build any retriever
+  from a string spec such as ``"lemp:LI"``, ``"naive"``, ``"ta:heap"`` or
+  ``"tree:cover"``; new retrieval methods self-register with the decorator.
+* :class:`RetrievalEngine` — wraps a retriever with chunked/batched query
+  execution, a fluent query builder, per-call statistics, incremental index
+  updates, and ``save`` / ``load`` persistence.
+
+Quick start::
+
+    from repro.engine import RetrievalEngine
+
+    engine = RetrievalEngine("lemp:LI", seed=0).fit(probes)
+    top = engine.query(queries).batch_size(512).top_k(10)
+    engine.save("idx/")
+    ...
+    engine = RetrievalEngine.load("idx/")
+"""
+
+from repro.engine.facade import EngineCall, QueryBuilder, RetrievalEngine
+from repro.engine.registry import (
+    available_specs,
+    create_retriever,
+    normalize_spec,
+    register_retriever,
+    registered_names,
+    spec_is_exact,
+)
+
+__all__ = [
+    "EngineCall",
+    "QueryBuilder",
+    "RetrievalEngine",
+    "available_specs",
+    "create_retriever",
+    "normalize_spec",
+    "register_retriever",
+    "registered_names",
+    "spec_is_exact",
+]

@@ -1,0 +1,263 @@
+"""Batched-query facade over any :class:`~repro.core.api.Retriever`.
+
+:class:`RetrievalEngine` is the serving-oriented entry point of the library.
+It owns a retriever (built from a spec string or passed in), normalises the
+probe matrix once at :meth:`fit`, and executes query workloads in bounded
+chunks so a million-row query matrix never materialises one giant candidate
+set.  Every call is recorded as an :class:`EngineCall` for monitoring, and
+the fitted index can be written to / restored from disk (see
+:mod:`repro.engine.persistence`).
+
+Three equivalent calling styles::
+
+    engine.row_top_k(queries, 10, batch_size=4096)       # merged result
+    engine.query(queries).batch_size(4096).top_k(10)     # fluent builder
+    for offset, part in engine.iter_row_top_k(queries, 10, 4096):
+        ...                                              # streaming batches
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import AboveThetaResult, TopKResult
+from repro.engine.registry import create_retriever, spec_for_instance
+from repro.exceptions import InvalidParameterError, UnsupportedOperationError
+from repro.utils.timer import Timer
+from repro.utils.validation import as_float_matrix, require_positive, require_positive_int
+
+#: Batch size used when the caller does not pick one.
+DEFAULT_BATCH_SIZE = 8192
+
+
+@dataclass
+class EngineCall:
+    """Record of one engine-level retrieval call (for monitoring/reporting)."""
+
+    problem: str
+    parameter: float
+    num_queries: int
+    num_batches: int
+    seconds: float
+    num_results: int
+
+
+class RetrievalEngine:
+    """Facade wrapping a retriever with batching, stats, updates and persistence.
+
+    Parameters
+    ----------
+    retriever:
+        Either a spec string understood by
+        :func:`repro.engine.registry.create_retriever` (``"lemp:LI"``,
+        ``"naive"``, …) or an already-constructed retriever instance.
+    **kwargs:
+        Constructor arguments forwarded when ``retriever`` is a spec string
+        (ignored otherwise; passing them with an instance is an error).
+    """
+
+    def __init__(self, retriever, **kwargs) -> None:
+        if isinstance(retriever, str):
+            self.spec: str | None = retriever
+            self._construct_kwargs = dict(kwargs)
+            self.retriever = create_retriever(retriever, **kwargs)
+        else:
+            if kwargs:
+                raise InvalidParameterError(
+                    "constructor kwargs are only accepted together with a spec string"
+                )
+            self.retriever = retriever
+            self.spec = spec_for_instance(retriever)
+            params = getattr(retriever, "get_params", None)
+            self._construct_kwargs = dict(params()) if callable(params) else {}
+        self.history: list[EngineCall] = []
+        self._probes: np.ndarray | None = None
+
+    # ------------------------------------------------------------- life cycle
+
+    @property
+    def stats(self):
+        """The wrapped retriever's cumulative :class:`~repro.core.stats.RunStats`."""
+        return self.retriever.stats
+
+    @property
+    def num_probes(self) -> int:
+        """Number of probe rows currently indexed.
+
+        Falls back to the retriever's own count when the engine wraps a
+        retriever that was fitted outside the engine.
+        """
+        if self._probes is not None:
+            return int(self._probes.shape[0])
+        indexed = getattr(self.retriever, "num_probes", None)
+        return int(indexed) if indexed is not None else 0
+
+    def fit(self, probes) -> "RetrievalEngine":
+        """Normalise the probe matrix once and index it."""
+        self._probes = as_float_matrix(probes, "probes")
+        self.retriever.fit(self._probes)
+        return self
+
+    def partial_fit(self, new_probes) -> "RetrievalEngine":
+        """Insert new probe rows into the fitted index (where supported)."""
+        new_probes = as_float_matrix(new_probes, "new_probes")
+        already_fitted = getattr(self.retriever, "_fitted", False) or self._probes is not None
+        _require_method(self.retriever, "partial_fit")(new_probes)
+        if self._probes is not None:
+            self._probes = np.vstack([self._probes, new_probes])
+        elif not already_fitted:
+            # partial_fit on a fresh retriever is a fit; when the retriever
+            # was fitted outside the engine the full matrix is unknown and
+            # _probes stays None (num_probes falls back to the retriever).
+            self._probes = new_probes
+        return self
+
+    def remove(self, probe_ids) -> "RetrievalEngine":
+        """Remove probe rows by original id (where supported); survivors are
+        renumbered consecutively, as in a fresh fit on the reduced matrix."""
+        probe_ids = np.unique(np.asarray(probe_ids, dtype=np.int64))
+        _require_method(self.retriever, "remove")(probe_ids)
+        if self._probes is not None:
+            self._probes = np.delete(self._probes, probe_ids, axis=0)
+        return self
+
+    # ---------------------------------------------------------------- queries
+
+    def query(self, queries) -> "QueryBuilder":
+        """Start a fluent query: ``engine.query(q).batch_size(n).top_k(k)``."""
+        return QueryBuilder(self, queries)
+
+    def _batches(self, queries: np.ndarray, batch_size: int | None):
+        if batch_size is None:
+            batch_size = DEFAULT_BATCH_SIZE
+        else:
+            require_positive_int(batch_size, "batch_size")
+        for start in range(0, queries.shape[0], batch_size):
+            yield start, queries[start:start + batch_size]
+
+    def _iter_above(self, queries: np.ndarray, theta: float, batch_size: int | None):
+        require_positive(theta, "theta")
+        solve = _require_method(self.retriever, "above_theta")
+        for start, block in self._batches(queries, batch_size):
+            yield start, solve(block, theta)
+
+    def iter_above_theta(self, queries, theta: float, batch_size: int | None = None):
+        """Yield ``(row_offset, AboveThetaResult)`` per query batch.
+
+        Batch results carry batch-local query ids; add ``row_offset`` (or use
+        :meth:`above_theta` for the pre-merged view) to map them back to rows
+        of the full query matrix.
+
+        Per-batch cost note: retrievers that tune per call (the mixed LEMP
+        algorithms) re-run their sample-based tuner for every batch, so very
+        small batch sizes trade tuning overhead for bounded memory.
+        """
+        queries = as_float_matrix(queries, "queries")
+        yield from self._iter_above(queries, theta, batch_size)
+
+    def above_theta(self, queries, theta: float, batch_size: int | None = None) -> AboveThetaResult:
+        """Solve Above-θ over the full query matrix in bounded batches."""
+        queries = as_float_matrix(queries, "queries")
+        offsets: list[int] = []
+        parts: list[AboveThetaResult] = []
+        with Timer() as timer:
+            for start, part in self._iter_above(queries, theta, batch_size):
+                offsets.append(start)
+                parts.append(part)
+        merged = AboveThetaResult.concat(parts, float(theta), query_offsets=offsets)
+        self._record("above_theta", float(theta), int(queries.shape[0]),
+                     len(parts), timer.elapsed, merged.num_results)
+        return merged
+
+    def _iter_top_k(self, queries: np.ndarray, k: int, batch_size: int | None):
+        require_positive_int(k, "k")
+        solve = _require_method(self.retriever, "row_top_k")
+        for start, block in self._batches(queries, batch_size):
+            yield start, solve(block, k)
+
+    def iter_row_top_k(self, queries, k: int, batch_size: int | None = None):
+        """Yield ``(row_offset, TopKResult)`` per query batch."""
+        queries = as_float_matrix(queries, "queries")
+        yield from self._iter_top_k(queries, k, batch_size)
+
+    def row_top_k(self, queries, k: int, batch_size: int | None = None) -> TopKResult:
+        """Solve Row-Top-k over the full query matrix in bounded batches."""
+        queries = as_float_matrix(queries, "queries")
+        parts: list[TopKResult] = []
+        with Timer() as timer:
+            for _, part in self._iter_top_k(queries, k, batch_size):
+                parts.append(part)
+        merged = TopKResult.concat(parts, int(k))
+        self._record("row_top_k", float(k), int(queries.shape[0]), len(parts),
+                     timer.elapsed, int(np.sum(merged.indices >= 0)))
+        return merged
+
+    def _record(self, problem: str, parameter: float, num_queries: int,
+                num_batches: int, seconds: float, num_results: int) -> None:
+        self.history.append(
+            EngineCall(problem, parameter, int(num_queries), num_batches, seconds, num_results)
+        )
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path) -> None:
+        """Write the fitted index (arrays + JSON metadata) to a directory."""
+        from repro.engine.persistence import save_engine
+
+        save_engine(self, path)
+
+    @classmethod
+    def load(cls, path) -> "RetrievalEngine":
+        """Restore an engine written by :meth:`save`."""
+        from repro.engine.persistence import load_engine
+
+        return load_engine(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        spec = self.spec or type(self.retriever).__name__
+        return f"RetrievalEngine(spec={spec!r}, num_probes={self.num_probes})"
+
+
+class QueryBuilder:
+    """Fluent builder for one query workload against an engine.
+
+    Terminal methods: :meth:`top_k`, :meth:`above` (merged results) and
+    :meth:`top_k_batches`, :meth:`above_batches` (streaming per-batch).
+    """
+
+    def __init__(self, engine: RetrievalEngine, queries) -> None:
+        self._engine = engine
+        self._queries = queries
+        self._batch_size: int | None = None
+
+    def batch_size(self, size: int) -> "QueryBuilder":
+        """Set the chunk size used to split the query matrix."""
+        self._batch_size = require_positive_int(size, "batch_size")
+        return self
+
+    def top_k(self, k: int) -> TopKResult:
+        """Run Row-Top-k and return the merged result."""
+        return self._engine.row_top_k(self._queries, k, batch_size=self._batch_size)
+
+    def above(self, theta: float) -> AboveThetaResult:
+        """Run Above-θ and return the merged result."""
+        return self._engine.above_theta(self._queries, theta, batch_size=self._batch_size)
+
+    def top_k_batches(self, k: int):
+        """Yield ``(row_offset, TopKResult)`` per batch without merging."""
+        return self._engine.iter_row_top_k(self._queries, k, self._batch_size)
+
+    def above_batches(self, theta: float):
+        """Yield ``(row_offset, AboveThetaResult)`` per batch without merging."""
+        return self._engine.iter_above_theta(self._queries, theta, self._batch_size)
+
+
+def _require_method(retriever, method: str):
+    implementation = getattr(retriever, method, None)
+    if implementation is None:
+        raise UnsupportedOperationError(
+            f"{type(retriever).__name__} does not implement {method}()"
+        )
+    return implementation

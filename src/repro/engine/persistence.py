@@ -1,0 +1,152 @@
+"""Index persistence: write a fitted engine to disk and restore it.
+
+A saved index is a directory with two files:
+
+* ``meta.json`` — format version, library version, the retriever spec string
+  and its constructor arguments, and basic shape information;
+* ``index.npz`` — the normalised probe matrix plus, when the retriever
+  implements :meth:`~repro.core.api.Retriever.index_state`, the fitted index
+  arrays (stored under a ``state.`` key prefix).
+
+Loading constructs the retriever from the recorded spec, then either restores
+the index arrays directly (skipping preprocessing — the point of persisting)
+or falls back to a fresh ``fit`` on the stored probes for retrievers without
+exportable state.  Either way the loaded engine answers ``row_top_k`` /
+``above_theta`` identically to the saved one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import NotPreparedError, PersistenceError
+
+#: On-disk format version; bump on incompatible layout changes.
+FORMAT_VERSION = 1
+
+_META_FILE = "meta.json"
+_INDEX_FILE = "index.npz"
+_STATE_PREFIX = "state."
+
+
+def save_engine(engine, path) -> None:
+    """Write ``engine``'s fitted index under the directory ``path``.
+
+    Retrievers with an exportable :meth:`~repro.core.api.Retriever.index_state`
+    (LEMP) persist only their state arrays — the probe matrix is fully encoded
+    in them, so it is not written twice.  Retrievers without exportable state
+    persist the normalised probe matrix and are refit on load.
+    """
+    if engine.spec is None:
+        raise PersistenceError(
+            f"cannot save a {type(engine.retriever).__name__} that is not in the "
+            "retriever registry; construct the engine from a spec string instead"
+        )
+    state = None
+    if (
+        getattr(engine.retriever, "_fitted", False)
+        and hasattr(engine.retriever, "index_state")
+        and _overrides_restore(engine.retriever)
+    ):
+        state = engine.retriever.index_state()
+    if state is None and engine._probes is None:
+        raise NotPreparedError(
+            "nothing to save: call engine.fit(probes) first (a retriever fitted "
+            "outside the engine can only be saved if it exports index state)"
+        )
+    from repro import __version__
+
+    directory = Path(path)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except (FileExistsError, NotADirectoryError) as error:
+        raise PersistenceError(
+            f"cannot write index to {directory}: path exists and is not a directory"
+        ) from error
+
+    arrays: dict[str, np.ndarray] = {}
+    if state is not None:
+        for key, value in state.items():
+            arrays[_STATE_PREFIX + key] = np.asarray(value)
+    else:
+        arrays["probes"] = engine._probes
+
+    meta = {
+        "format": FORMAT_VERSION,
+        "library_version": __version__,
+        "spec": engine.spec,
+        "kwargs": _jsonable(engine._construct_kwargs),
+        "num_probes": int(engine.num_probes),
+        "has_state": state is not None,
+    }
+    (directory / _META_FILE).write_text(json.dumps(meta, indent=2, sort_keys=True))
+    with open(directory / _INDEX_FILE, "wb") as handle:
+        np.savez(handle, **arrays)
+
+
+def load_engine(path):
+    """Restore a :class:`~repro.engine.facade.RetrievalEngine` from ``path``."""
+    from repro.engine.facade import RetrievalEngine
+
+    directory = Path(path)
+    meta_path = directory / _META_FILE
+    index_path = directory / _INDEX_FILE
+    if not meta_path.is_file() or not index_path.is_file():
+        raise PersistenceError(f"{directory} is not a saved index (missing meta/index files)")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except json.JSONDecodeError as error:
+        raise PersistenceError(f"corrupt index metadata in {meta_path}: {error}") from error
+    if meta.get("format") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"saved index has format {meta.get('format')!r}, "
+            f"this library reads format {FORMAT_VERSION}"
+        )
+
+    with np.load(index_path) as data:
+        probes = data["probes"] if "probes" in data.files else None
+        state = {
+            key[len(_STATE_PREFIX):]: data[key]
+            for key in data.files
+            if key.startswith(_STATE_PREFIX)
+        }
+
+    engine = RetrievalEngine(meta["spec"], **meta.get("kwargs", {}))
+    if state and meta.get("has_state", False):
+        engine.retriever.restore_index(probes, state)
+    elif probes is not None:
+        engine._probes = np.ascontiguousarray(probes)
+        engine.retriever.fit(engine._probes)
+    else:
+        raise PersistenceError(f"corrupt index in {index_path}: neither state nor probes stored")
+    return engine
+
+
+def _overrides_restore(retriever) -> bool:
+    """Whether the retriever implements its own ``restore_index``.
+
+    The state-only save path (no probes array on disk) is only safe when the
+    retriever can rebuild itself from state alone; a class that exports
+    ``index_state`` but inherits the default refit-from-probes
+    ``restore_index`` must be persisted via the probe matrix instead.
+    """
+    from repro.core.api import Retriever
+
+    return (
+        isinstance(retriever, Retriever)
+        and type(retriever).restore_index is not Retriever.restore_index
+    )
+
+
+def _jsonable(value):
+    """Recursively convert numpy scalars and tuples for JSON metadata."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

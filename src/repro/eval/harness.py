@@ -10,11 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines import DualTreeRetriever, NaiveRetriever, SingleTreeRetriever, TARetriever
 from repro.core.api import Retriever
-from repro.core.lemp import ALGORITHMS, Lemp
 from repro.datasets.registry import Dataset
-from repro.exceptions import UnknownAlgorithmError
+from repro.engine.registry import create_retriever
 from repro.utils.timer import Timer
 
 #: Baseline retriever names accepted by :func:`make_retriever`.
@@ -51,28 +49,15 @@ class ExperimentResult:
 
 
 def make_retriever(name: str, seed: int = 0, **kwargs) -> Retriever:
-    """Build a retriever from its paper name.
+    """Build a retriever from its paper name or registry spec.
 
-    Accepted names: ``"Naive"``, ``"TA"``, ``"Tree"``, ``"D-Tree"`` and
-    ``"LEMP-X"`` for every bucket algorithm X in
-    :data:`repro.core.lemp.ALGORITHMS`.
+    Thin alias for :func:`repro.engine.registry.create_retriever`: accepts the
+    registry specs (``"lemp:LI"``, ``"naive"``, ``"tree:ball"``, …) as well as
+    the paper names used throughout the benchmark tables (``"Naive"``,
+    ``"TA"``, ``"Tree"``, ``"D-Tree"`` and ``"LEMP-X"`` for every bucket
+    algorithm X).
     """
-    if name == "Naive":
-        return NaiveRetriever(**kwargs)
-    if name == "TA":
-        return TARetriever(**kwargs)
-    if name == "Tree":
-        return SingleTreeRetriever(seed=seed, **kwargs)
-    if name == "D-Tree":
-        return DualTreeRetriever(seed=seed, **kwargs)
-    if name.upper().startswith("LEMP-"):
-        algorithm = name.split("-", 1)[1].upper()
-        if algorithm not in ALGORITHMS:
-            raise UnknownAlgorithmError(f"unknown LEMP bucket algorithm {algorithm!r}")
-        return Lemp(algorithm=algorithm, seed=seed, **kwargs)
-    raise UnknownAlgorithmError(
-        f"unknown retriever {name!r}; expected one of {BASELINE_NAMES} or LEMP-<algorithm>"
-    )
+    return create_retriever(name, seed=seed, **kwargs)
 
 
 def _run(retriever: Retriever, dataset: Dataset, problem: str, parameter: float) -> ExperimentResult:

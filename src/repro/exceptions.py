@@ -21,5 +21,20 @@ class UnknownAlgorithmError(ReproError, KeyError):
     """An algorithm name passed to a factory is not registered."""
 
 
+class UnsupportedOperationError(ReproError, NotImplementedError):
+    """The retriever does not support the requested operation.
+
+    Raised by the default :meth:`repro.core.api.Retriever.partial_fit` /
+    :meth:`repro.core.api.Retriever.remove` implementations: incremental index
+    maintenance is only meaningful for methods whose index structure admits
+    in-place updates (LEMP's length-sorted buckets, the naive flat matrix).
+    Tree- and hash-based baselines rebuild from scratch instead.
+    """
+
+
+class PersistenceError(ReproError, OSError):
+    """A saved index directory is missing, corrupt, or version-incompatible."""
+
+
 class UnknownDatasetError(ReproError, KeyError):
     """A dataset name passed to the registry is not registered."""

@@ -21,11 +21,14 @@ import numpy as np
 from repro.core.lemp import Lemp
 from repro.core.results import TopKResult
 from repro.core.stats import RunStats
+from repro.engine.registry import register_retriever
+from repro.exceptions import UnsupportedOperationError
 from repro.extensions.kmeans import kmeans
 from repro.utils.timer import Timer
 from repro.utils.validation import as_float_matrix, check_rank_match, require_positive_int
 
 
+@register_retriever("clustered", exact=False)
 class ClusteredTopK:
     """Approximate Row-Top-k answering through cluster centroids.
 
@@ -53,12 +56,32 @@ class ClusteredTopK:
         self._lemp: Lemp | None = None
         self._probes: np.ndarray | None = None
 
+    def get_params(self) -> dict:
+        return {
+            "num_clusters": self.num_clusters,
+            "expansion": self.expansion,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+        }
+
     def fit(self, probes) -> "ClusteredTopK":
         """Index the probe matrix with LEMP."""
         self._probes = as_float_matrix(probes, "probes")
         self._lemp = Lemp(algorithm=self.algorithm, seed=self.seed).fit(self._probes)
         self.stats.preprocessing_seconds += self._lemp.stats.preprocessing_seconds
         return self
+
+    @property
+    def num_probes(self) -> int | None:
+        """Number of indexed probe rows, or ``None`` before :meth:`fit`."""
+        return None if self._probes is None else int(self._probes.shape[0])
+
+    def above_theta(self, queries, theta: float):
+        """Not supported: the clustered extension answers Row-Top-k only."""
+        raise UnsupportedOperationError(
+            "ClusteredTopK approximates Row-Top-k via query clustering and has "
+            "no Above-theta mode; use a LEMP or baseline retriever instead"
+        )
 
     def row_top_k(self, queries, k: int) -> TopKResult:
         """Approximate Row-Top-k for every query row (exact rescoring within pools)."""

@@ -58,6 +58,17 @@ def require_positive(value: float, name: str) -> float:
     return value
 
 
+def validate_probe_ids(probe_ids, size: int) -> np.ndarray:
+    """Deduplicate and range-check probe row ids for incremental removal."""
+    probe_ids = np.unique(np.asarray(probe_ids, dtype=np.int64))
+    if probe_ids.size and (probe_ids[0] < 0 or probe_ids[-1] >= size):
+        raise InvalidParameterError(
+            f"probe ids must be in [0, {size}), got range "
+            f"[{probe_ids[0]}, {probe_ids[-1]}]"
+        )
+    return probe_ids
+
+
 def require_positive_int(value: int, name: str) -> int:
     """Validate that a parameter is a strictly positive integer."""
     if not isinstance(value, (int, np.integer)) or isinstance(value, bool):

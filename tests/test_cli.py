@@ -6,7 +6,9 @@ import io
 
 import pytest
 
+from repro import __version__
 from repro.cli import TABLE_BUILDERS, build_parser, main
+from repro.engine import RetrievalEngine
 
 
 def run_cli(argv):
@@ -23,7 +25,7 @@ class TestParser:
     def test_topk_defaults(self):
         args = build_parser().parse_args(["topk"])
         assert args.dataset == "netflix"
-        assert args.algorithm == "LEMP-LI"
+        assert args.algorithm == "lemp:LI"
         assert args.k == 10
 
     def test_above_mutually_exclusive(self):
@@ -39,6 +41,22 @@ class TestParser:
         assert args.which == ["table3", "figure3"]
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tables", "--which", "table99"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_index_defaults(self):
+        args = build_parser().parse_args(["index", "--out", "idx"])
+        assert args.dataset == "netflix"
+        assert args.spec == "lemp:LI"
+        assert args.out == "idx"
+
+    def test_index_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index"])
 
 
 class TestCommands:
@@ -84,6 +102,53 @@ class TestCommands:
         code, output = run_cli(["tables", "--which", "table1", "--scale", "tiny"])
         assert code == 0
         assert "ie-nmf" in output
+
+    def test_topk_with_registry_spec(self):
+        code, output = run_cli(
+            ["topk", "--dataset", "netflix", "--algorithm", "lemp:LC", "--k", "2", "--scale", "tiny"]
+        )
+        assert code == 0
+        assert "LEMP-LC" in output
+
+    def test_index_saves_and_verifies(self, tmp_path):
+        out = tmp_path / "idx"
+        code, output = run_cli(
+            ["index", "--dataset", "netflix", "--spec", "lemp:LI", "--scale", "tiny",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert "reload verified" in output
+        assert "ok" in output
+        assert (out / "meta.json").is_file()
+        assert (out / "index.npz").is_file()
+        # The written index is loadable through the library API as well.
+        engine = RetrievalEngine.load(out)
+        assert engine.spec == "lemp:LI"
+        assert engine.num_probes > 0
+
+    def test_unknown_spec_is_clean_error(self):
+        code, output = run_cli(["topk", "--algorithm", "lemp:XYZ", "--scale", "tiny"])
+        assert code == 2
+        assert "error:" in output
+        assert "unknown variant" in output
+
+    def test_clustered_above_is_clean_error(self):
+        code, output = run_cli(
+            ["above", "--dataset", "netflix", "--algorithm", "clustered",
+             "--theta", "1.0", "--scale", "tiny"]
+        )
+        assert code == 2
+        assert "error:" in output
+        assert "Row-Top-k" in output
+
+    def test_index_skip_verify(self, tmp_path):
+        out = tmp_path / "idx2"
+        code, output = run_cli(
+            ["index", "--dataset", "ie-svd", "--spec", "naive", "--scale", "tiny",
+             "--out", str(out), "--skip-verify"]
+        )
+        assert code == 0
+        assert "reload verified" not in output
 
     def test_every_table_builder_exists(self):
         assert set(TABLE_BUILDERS) >= {

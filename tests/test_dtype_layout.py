@@ -1,0 +1,104 @@
+"""Regression tests: float32 and non-contiguous inputs are normalised once.
+
+Every public entry point funnels matrices through
+:func:`repro.utils.validation.as_float_matrix`, so callers may pass float32,
+Fortran-ordered, or strided views; the library converts to C-contiguous
+float64 exactly once (in ``fit`` / query preparation) and produces the same
+results as pre-converted input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Lemp, RetrievalEngine, VectorStore
+from repro.engine import create_retriever
+from tests.conftest import make_factors
+
+SPECS = ["lemp:LI", "naive", "ta:blocked", "tree:cover", "dtree:cover"]
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    queries = make_factors(40, rank=12, length_cov=1.0, seed=21)
+    probes = make_factors(120, rank=12, length_cov=1.0, seed=22)
+    # Round-trip through float32 so the float64 reference matches exactly.
+    return queries.astype(np.float32), probes.astype(np.float32)
+
+
+def variants(matrix32):
+    """The same matrix as float32, Fortran-ordered, and a strided view."""
+    full64 = np.ascontiguousarray(matrix32.astype(np.float64))
+    return full64, [
+        matrix32,
+        np.asfortranarray(matrix32),
+        np.asfortranarray(full64),
+        np.repeat(full64, 2, axis=0)[::2],  # non-contiguous row-strided view
+    ]
+
+
+@pytest.mark.parametrize("spec", SPECS)
+def test_fit_accepts_any_dtype_and_layout(spec, matrices):
+    queries32, probes32 = matrices
+    probes64, probe_variants = variants(probes32)
+    queries64 = np.ascontiguousarray(queries32.astype(np.float64))
+    reference = create_retriever(spec, seed=0).fit(probes64).row_top_k(queries64, 4)
+    for probe_variant in probe_variants:
+        top = create_retriever(spec, seed=0).fit(probe_variant).row_top_k(queries64, 4)
+        assert np.array_equal(top.indices, reference.indices), spec
+        assert np.array_equal(top.scores, reference.scores), spec
+
+
+@pytest.mark.parametrize("spec", SPECS)
+def test_queries_accept_any_dtype_and_layout(spec, matrices):
+    queries32, probes32 = matrices
+    probes64 = np.ascontiguousarray(probes32.astype(np.float64))
+    queries64, query_variants = variants(queries32)
+    retriever = create_retriever(spec, seed=0).fit(probes64)
+    reference = retriever.row_top_k(queries64, 4)
+    for query_variant in query_variants:
+        top = retriever.row_top_k(query_variant, 4)
+        assert np.array_equal(top.indices, reference.indices), spec
+        assert np.array_equal(top.scores, reference.scores), spec
+
+
+def test_vector_store_normalises_once(matrices):
+    _, probes32 = matrices
+    store = VectorStore(probes32)
+    assert store.directions.dtype == np.float64
+    assert store.directions.flags["C_CONTIGUOUS"]
+    assert store.lengths.dtype == np.float64
+    reference = VectorStore(np.ascontiguousarray(probes32.astype(np.float64)))
+    assert np.array_equal(store.lengths, reference.lengths)
+    assert np.array_equal(store.directions, reference.directions)
+
+
+def test_partial_fit_accepts_float32(matrices):
+    queries32, probes32 = matrices
+    probes64 = np.ascontiguousarray(probes32.astype(np.float64))
+    extra32 = make_factors(15, rank=12, length_cov=1.0, seed=23).astype(np.float32)
+    extra64 = np.ascontiguousarray(extra32.astype(np.float64))
+    queries64 = np.ascontiguousarray(queries32.astype(np.float64))
+    incremental = Lemp(algorithm="LI", seed=0).fit(probes32).partial_fit(extra32)
+    fresh = Lemp(algorithm="LI", seed=0).fit(np.vstack([probes64, extra64]))
+    top_inc = incremental.row_top_k(queries64, 3)
+    top_fresh = fresh.row_top_k(queries64, 3)
+    assert np.array_equal(top_inc.indices, top_fresh.indices)
+    assert np.array_equal(top_inc.scores, top_fresh.scores)
+
+
+def test_engine_accepts_float32(matrices):
+    queries32, probes32 = matrices
+    engine = RetrievalEngine("lemp:LI", seed=0).fit(probes32)
+    assert engine._probes.dtype == np.float64
+    top = engine.query(queries32).batch_size(16).top_k(3)
+    reference = RetrievalEngine("naive").fit(probes32).row_top_k(queries32, 3)
+    assert np.allclose(top.scores, reference.scores)
+
+
+def test_column_top_k_accepts_float32(matrices):
+    queries32, probes32 = matrices
+    lemp = Lemp(algorithm="LI", seed=0).fit(probes32)
+    result = lemp.column_top_k(np.asfortranarray(queries32), 3)
+    assert result.indices.shape == (probes32.shape[0], 3)

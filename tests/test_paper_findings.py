@@ -15,7 +15,6 @@ reproduction must show:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import Lemp
