@@ -1,15 +1,20 @@
-"""Section 6.2 ablation: cache-aware vs cache-oblivious bucketisation.
+"""Cache ablations: bucketisation cache budget, and the engine tuning cache.
 
-The paper reports that restricting bucket sizes to the cache budget more than
-halves the runtime on the low-skew KDD dataset while making little difference
-on the skewed IE datasets (which produce small buckets anyway).  This module
-regenerates that comparison with the bucket-size cap as the ablated knob.
+Two unrelated "caches" are ablated here.  First, the paper's Section 6.2
+comparison of cache-aware vs cache-oblivious bucketisation (the bucket-size
+cap as the knob).  Second, the engine-layer tuning cache: a chunked
+``RetrievalEngine`` call used to re-run LEMP's sample-based tuner once per
+chunk; with the :class:`~repro.core.tuning_cache.TuningCache` it tunes once
+and every further chunk (and every repeated call at the same parameters) is a
+cache hit, with bit-identical results.
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+from repro.engine import RetrievalEngine
 from repro.eval import format_table, make_retriever, run_row_top_k
 
 from benchmarks.conftest import BENCH_SEED, write_report
@@ -61,4 +66,62 @@ def test_ablation_report(benchmark, dataset_cache):
     )
     write_report(
         "ablation_cache.txt", "Section 6.2 ablation: cache-aware vs cache-oblivious buckets", table
+    )
+
+
+NUM_CHUNKS = 4
+
+
+def test_engine_tuning_cache_report(benchmark, dataset_cache):
+    """Batched engine calls, tuning cache off vs cold vs warm (PR 2 tentpole).
+
+    The cache-off engine re-tunes on every chunk of every call; the cache-on
+    engine tunes once on the first chunk of the first call (cold) and is all
+    hits afterwards (warm).  Results must be bit-identical either way.
+    """
+
+    def run_all():
+        rows = []
+        for dataset_name in DATASETS:
+            dataset = dataset_cache(dataset_name)
+            batch_size = max(1, -(-dataset.queries.shape[0] // NUM_CHUNKS))
+
+            off = RetrievalEngine("LEMP-LI", seed=BENCH_SEED, tune_cache=False)
+            off.fit(dataset.probes)
+            on = RetrievalEngine("LEMP-LI", seed=BENCH_SEED)
+            on.fit(dataset.probes)
+
+            baseline = off.row_top_k(dataset.queries, 5, batch_size=batch_size)
+            scenarios = (("cache off", off), ("cache on (cold)", on), ("cache on (warm)", on))
+            for label, engine in scenarios:
+                tuning_before = engine.stats.tuning_seconds
+                result = engine.row_top_k(dataset.queries, 5, batch_size=batch_size)
+                call = engine.history[-1]
+                assert np.array_equal(result.indices, baseline.indices)
+                assert np.array_equal(result.scores, baseline.scores)
+                rows.append(
+                    [
+                        dataset_name,
+                        label,
+                        call.num_batches,
+                        call.tuning_cache_hits,
+                        call.tuning_cache_misses,
+                        f"{engine.stats.tuning_seconds - tuning_before:.4f}",
+                        f"{call.seconds:.4f}",
+                    ]
+                )
+            warm = on.history[-1]
+            assert warm.tuning_cache_misses == 0 and warm.tuning_cache_hits == warm.num_batches
+            cold = on.history[-2]
+            assert cold.tuning_cache_misses == 1 and cold.tuning_cache_hits >= NUM_CHUNKS - 1
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "scenario", "batches", "hits", "misses", "tuning [s]", "call [s]"], rows
+    )
+    write_report(
+        "ablation_tuning_cache.txt",
+        "Engine tuning cache: chunked Row-Top-5, off vs cold vs warm",
+        table,
     )

@@ -58,10 +58,20 @@ def main() -> None:
     # -------------------------------------------------------------- Row-Top-k
     print("\nRow-Top-10")
     top = engine.query(queries).batch_size(512).top_k(10)
+    call = engine.history[-1]
     print(f"  answered queries       : {top.num_queries}")
+    print(f"  batches                : {call.num_batches}")
+    print(f"  tuning cache           : {call.tuning_cache_hits} hits / "
+          f"{call.tuning_cache_misses} miss (tuned once, reused per chunk)")
     first_row = top.row(0)[:3]
     formatted = ", ".join(f"probe {j} ({score:.3f})" for j, score in first_row)
     print(f"  best probes for query 0: {formatted}")
+
+    # A repeat call at the same k is fully warm: no tuner run at all.
+    engine.query(queries).batch_size(512).top_k(10)
+    warm = engine.history[-1]
+    print(f"  warm repeat            : {warm.tuning_cache_hits} hits / "
+          f"{warm.tuning_cache_misses} misses")
 
     reference_top = naive.row_top_k(queries, k=10)
     assert np.allclose(top.scores, reference_top.scores, atol=1e-8)

@@ -38,6 +38,7 @@ from repro.core import (
     Retriever,
     RunStats,
     TopKResult,
+    TuningCache,
     VectorStore,
 )
 from repro.engine import (
@@ -72,6 +73,7 @@ __all__ = [
     "Retriever",
     "RunStats",
     "TopKResult",
+    "TuningCache",
     "UnknownAlgorithmError",
     "UnknownDatasetError",
     "UnsupportedOperationError",

@@ -7,17 +7,21 @@ from repro.core.lemp import ALGORITHMS, Lemp
 from repro.core.results import AboveThetaResult, TopKResult
 from repro.core.stats import RunStats
 from repro.core.thresholds import feasible_region, local_threshold, local_thresholds
+from repro.core.tuning_cache import BucketFingerprint, BucketTuning, TuningCache
 from repro.core.vector_store import PreparedQueries, VectorStore
 
 __all__ = [
     "ALGORITHMS",
     "AboveThetaResult",
     "Bucket",
+    "BucketFingerprint",
+    "BucketTuning",
     "Lemp",
     "PreparedQueries",
     "Retriever",
     "RunStats",
     "TopKResult",
+    "TuningCache",
     "VectorStore",
     "bucketize",
     "feasible_region",

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.sorted_lists import SortedListIndex
+from repro.core.tuning_cache import BucketFingerprint, fingerprint_content
 from repro.core.vector_store import VectorStore
 
 
@@ -28,17 +29,26 @@ class Bucket:
         Half-open position range ``[start, end)`` within the store.
     index:
         Ordinal number of the bucket (0 = longest vectors).
+    epoch:
+        Index-mutation epoch the bucket was created in (see
+        :mod:`repro.core.tuning_cache`).  Buckets preserved across
+        ``partial_fit`` / ``remove`` keep their original epoch; rebuilt
+        buckets get the store's current epoch, which invalidates exactly
+        their cached tuning entries.
     """
 
-    def __init__(self, store: VectorStore, start: int, end: int, index: int) -> None:
+    def __init__(self, store: VectorStore, start: int, end: int, index: int,
+                 epoch: int = 0) -> None:
         if not 0 <= start < end <= store.size:
             raise ValueError(f"invalid bucket range [{start}, {end}) for store of size {store.size}")
         self.store = store
         self.start = start
         self.end = end
         self.index = index
+        self.epoch = epoch
         self._sorted_lists: SortedListIndex | None = None
         self._extra_indexes: dict[str, object] = {}
+        self._fingerprint: BucketFingerprint | None = None
 
     # ------------------------------------------------------------------ views
 
@@ -79,6 +89,18 @@ class Bucket:
         """Reconstruct the bucket's original (unnormalised) probe vectors."""
         return self.directions * self.lengths[:, None]
 
+    def fingerprint(self) -> BucketFingerprint:
+        """Content fingerprint of the bucket (cached; bucket content is immutable).
+
+        A bucket's probe content never changes in place — index mutations
+        replace changed buckets with fresh :class:`Bucket` objects — so the
+        fingerprint is computed once from the length/direction slices and the
+        creation epoch and then memoised.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_content(self.lengths, self.directions, self.epoch)
+        return self._fingerprint
+
     # ------------------------------------------------------------ lazy indexes
 
     @property
@@ -102,6 +124,20 @@ class Bucket:
         if key not in self._extra_indexes:
             self._extra_indexes[key] = builder()
         return self._extra_indexes[key]
+
+    def peek_index(self, key: str):
+        """Return a named auxiliary index, or ``None`` if it was never built.
+
+        Unlike :meth:`get_index` this never constructs anything; the
+        threshold-guarded retrievers (LEMP-L2AP, LEMP-BLSH) use it to inspect
+        the cached index's building threshold before deciding to reuse it.
+        """
+        return self._extra_indexes.get(key)
+
+    def set_index(self, key: str, value):
+        """Store (or replace) a named auxiliary index and return it."""
+        self._extra_indexes[key] = value
+        return value
 
     def drop_index(self, key: str) -> None:
         """Discard a named auxiliary index so it is rebuilt on next use.

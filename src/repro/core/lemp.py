@@ -38,9 +38,18 @@ from repro.core.retrievers import (
     TABucketRetriever,
     TreeBucketRetriever,
 )
+from repro.core.retrievers.blsh import INDEX_KEY as BLSH_INDEX_KEY
+from repro.core.retrievers.l2ap import INDEX_KEY as L2AP_INDEX_KEY
 from repro.core.selector import DEFAULT_PHI, FixedSelector, PerBucketSelector
 from repro.core.top_k import solve_row_top_k
-from repro.core.tuner import DEFAULT_PHI_GRID, DEFAULT_SAMPLE_SIZE, tune_mixed, tune_phi
+from repro.core.tuner import (
+    DEFAULT_PHI_GRID,
+    DEFAULT_SAMPLE_SIZE,
+    combine_tuning,
+    tune_mixed,
+    tune_phi,
+)
+from repro.core.tuning_cache import TuningCache
 from repro.core.vector_store import PreparedQueries, VectorStore
 from repro.engine.registry import register_retriever
 from repro.exceptions import DimensionMismatchError, UnknownAlgorithmError
@@ -80,6 +89,13 @@ class Lemp(Retriever):
         Tuner sample size and candidate focus-set sizes (Section 4.4).
     seed:
         Seed for the tuner's query sample and the BLSH signatures.
+    tune_cache:
+        Whether tuning artifacts (tuned φ / switch points, threshold-derived
+        L2AP/BLSH bucket indexes) are memoised across retrieval calls in a
+        :class:`~repro.core.tuning_cache.TuningCache`.  Enabled by default;
+        disabling restores the tune-per-call behaviour.  Results are
+        identical either way for the exact algorithms — tuning only steers
+        candidate generation, and candidates are verified exactly.
     """
 
     def __init__(
@@ -93,6 +109,7 @@ class Lemp(Retriever):
         tune_sample: int = DEFAULT_SAMPLE_SIZE,
         phi_grid=DEFAULT_PHI_GRID,
         seed: int = 0,
+        tune_cache: bool = True,
     ) -> None:
         super().__init__()
         algorithm = str(algorithm).upper()
@@ -112,11 +129,15 @@ class Lemp(Retriever):
         self.name = f"LEMP-{algorithm}"
         self.store: VectorStore | None = None
         self.buckets: list = []
+        self.tuning_cache = TuningCache(enabled=bool(tune_cache))
+        self._epoch = 0
 
     # ------------------------------------------------------------------- fit
 
     def fit(self, probes) -> "Lemp":
         """Decompose and bucketise the probe matrix (preprocessing phase)."""
+        self._epoch = 0
+        self.tuning_cache.clear()
         with Timer() as timer:
             self.store = VectorStore(probes)
             self.buckets = bucketize(
@@ -152,6 +173,7 @@ class Lemp(Retriever):
             "tune_sample": self.tune_sample,
             "phi_grid": list(self.phi_grid),
             "seed": self.seed,
+            "tune_cache": self.tuning_cache.enabled,
         }
 
     # -------------------------------------------------- incremental maintenance
@@ -167,11 +189,13 @@ class Lemp(Retriever):
         ``preserved`` maps a ``(start, end)`` span in the *updated* store to
         the old :class:`Bucket` whose content occupies exactly that span.
         Wherever the fresh boundaries reproduce such a span, the old bucket —
-        with its cached sorted lists / CP arrays / trees — is kept; only
-        buckets whose content actually changed are rebuilt.  Because the
-        boundary scan is the same one :meth:`fit` runs, the resulting layout
-        (and therefore every query result, bit for bit) matches a fresh fit
-        on the updated probe matrix.
+        with its cached sorted lists / CP arrays / trees and its tuning-cache
+        epoch — is kept; only buckets whose content actually changed are
+        rebuilt, at the current (just bumped) epoch, which invalidates
+        exactly their cached tuning entries.  Because the boundary scan is
+        the same one :meth:`fit` runs, the resulting layout (and therefore
+        every query result, bit for bit) matches a fresh fit on the updated
+        probe matrix.
         """
         boundaries = greedy_boundaries(
             self.store.lengths,
@@ -185,11 +209,17 @@ class Lemp(Retriever):
         for index, (start, end) in enumerate(zip(boundaries[:-1], boundaries[1:])):
             bucket = preserved.get((start, end))
             if bucket is not None:
+                if bucket.index != index:
+                    # BLSH signatures are seeded per bucket ordinal; drop them
+                    # when the ordinal shifts so a later build matches a
+                    # fresh fit on the updated matrix.
+                    bucket.drop_index(BLSH_INDEX_KEY)
                 bucket.start, bucket.end, bucket.index = start, end, index
                 buckets.append(bucket)
             else:
-                buckets.append(Bucket(self.store, start, end, index))
+                buckets.append(Bucket(self.store, start, end, index, epoch=self._epoch))
         self.buckets = buckets
+        self.tuning_cache.prune({bucket.fingerprint() for bucket in buckets})
 
     def partial_fit(self, new_probes) -> "Lemp":
         """Insert new probe rows into the fitted index.
@@ -204,6 +234,7 @@ class Lemp(Retriever):
         """
         if not self._fitted:
             return self.fit(new_probes)
+        self._epoch += 1
         with Timer() as timer:
             old_buckets = list(self.buckets)
             positions = self.store.merge(new_probes)
@@ -232,6 +263,7 @@ class Lemp(Retriever):
         probe_ids = validate_probe_ids(probe_ids, self.store.size)
         if probe_ids.size == 0:
             return self
+        self._epoch += 1
         with Timer() as timer:
             positions = np.nonzero(np.isin(self.store.ids, probe_ids))[0]
             old_buckets = list(self.buckets)
@@ -249,23 +281,37 @@ class Lemp(Retriever):
     # ------------------------------------------------------------- persistence
 
     def index_state(self) -> dict[str, np.ndarray]:
-        """Export the fitted length-sorted store and bucket boundaries."""
+        """Export the fitted length-sorted store, bucket boundaries and epochs."""
         self._require_fitted()
         return {
             "ids": self.store.ids,
             "lengths": self.store.lengths,
             "directions": self.store.directions,
             "bounds": self._bucket_bounds(),
+            "bucket_epochs": np.asarray([bucket.epoch for bucket in self.buckets],
+                                        dtype=np.int64),
+            "epoch": np.asarray(self._epoch, dtype=np.int64),
         }
 
     def restore_index(self, probes, state) -> "Lemp":
-        """Rebuild the index from :meth:`index_state` arrays without refitting."""
+        """Rebuild the index from :meth:`index_state` arrays without refitting.
+
+        Bucket epochs (when present in ``state``) are restored too, so
+        fingerprints — and with them any persisted tuning-cache entries —
+        keep matching after the reload.
+        """
         self.store = VectorStore.from_state(state["ids"], state["lengths"], state["directions"])
         bounds = np.asarray(state["bounds"], dtype=np.intp)
+        if "bucket_epochs" in state:
+            epochs = np.asarray(state["bucket_epochs"], dtype=np.int64)
+        else:
+            epochs = np.zeros(max(bounds.size - 1, 0), dtype=np.int64)
         self.buckets = [
-            Bucket(self.store, int(start), int(end), index)
+            Bucket(self.store, int(start), int(end), index, epoch=int(epochs[index]))
             for index, (start, end) in enumerate(zip(bounds[:-1], bounds[1:]))
         ]
+        self._epoch = int(state["epoch"]) if "epoch" in state else int(epochs.max(initial=0))
+        self.tuning_cache.clear()
         self._fitted = True
         return self
 
@@ -288,20 +334,41 @@ class Lemp(Retriever):
         if self.algorithm == "TREE":
             return TreeBucketRetriever()
         if self.algorithm == "L2AP":
-            return L2APBucketRetriever(use_index_reduction=(problem == "above_theta"))
+            return L2APBucketRetriever(
+                use_index_reduction=(problem == "above_theta"), cache=self.tuning_cache
+            )
         if self.algorithm == "BLSH":
-            return BlshBucketRetriever(seed=self.seed)
+            return BlshBucketRetriever(seed=self.seed, cache=self.tuning_cache)
         return None
 
     def _invalidate_threshold_dependent_indexes(self) -> None:
-        """Drop per-bucket indexes whose content depends on the threshold."""
+        """Drop per-bucket indexes whose content depends on the threshold.
+
+        Only needed with the tuning cache disabled: with it enabled the
+        L2AP/BLSH retrievers guard reuse themselves with the theta_b
+        lower-bound rule, so the indexes stay valid across calls.
+        """
+        if self.tuning_cache.enabled:
+            return
         if self.algorithm in {"L2AP", "BLSH"}:
-            key = "l2ap" if self.algorithm == "L2AP" else "blsh"
+            key = L2AP_INDEX_KEY if self.algorithm == "L2AP" else BLSH_INDEX_KEY
             for bucket in self.buckets:
                 bucket.drop_index(key)
 
-    def _build_selector(self, queries: PreparedQueries, query_thetas, problem: str):
-        """Create the per-call selector, running the tuner when required."""
+    def _tuning_key(self, problem: str, parameter: float) -> tuple:
+        """Cache key of one tuning artifact: problem, parameter, sample seed.
+
+        All other inputs of the tuner (bucket contents, phi grid, sample
+        size) are either covered by the per-bucket fingerprints or constant
+        for the lifetime of this retriever instance.
+        """
+        return (problem, float(parameter), self.seed)
+
+    def _build_selector(
+        self, queries: PreparedQueries, query_thetas, problem: str, parameter: float
+    ):
+        """Create the per-call selector, running the tuner only on buckets
+        without a cached tuning entry for ``(problem, parameter, seed)``."""
         default_phi = self.phi if self.phi is not None else DEFAULT_PHI
 
         if self.algorithm == "L":
@@ -310,41 +377,56 @@ class Lemp(Retriever):
             return FixedSelector(self._coordinate_retriever(problem), phi=default_phi)
 
         coordinate = self._coordinate_retriever(problem)
-        if self.algorithm in {"C", "I"}:
-            if self.phi is not None:
-                return FixedSelector(coordinate, phi=self.phi)
-            with Timer() as timer:
-                tuning = tune_phi(
-                    self.buckets,
-                    queries,
-                    query_thetas,
-                    coordinate,
-                    phi_grid=self.phi_grid,
-                    sample_size=self.tune_sample,
-                    seed=self.seed,
-                )
-            self.stats.tuning_seconds += timer.elapsed
-            return FixedSelector(coordinate, phi=DEFAULT_PHI, per_bucket_phi=tuning.per_bucket_phi)
+        if self.algorithm in {"C", "I"} and self.phi is not None:
+            return FixedSelector(coordinate, phi=self.phi)
 
-        # Mixed LENGTH + coordinate algorithms ("LC", "LI").
-        length = LengthRetriever()
-        with Timer() as timer:
-            tuning = tune_mixed(
-                self.buckets,
-                queries,
-                query_thetas,
-                length,
-                coordinate,
-                phi_grid=self.phi_grid,
-                sample_size=self.tune_sample,
-                seed=self.seed,
-            )
-        self.stats.tuning_seconds += timer.elapsed
+        # Tuned algorithms ("C", "I" with free phi; mixed "LC", "LI").
+        use_cache = self.tuning_cache.enabled and queries.size > 0
+        key = self._tuning_key(problem, parameter)
+        if use_cache:
+            cached, stale = self.tuning_cache.lookup(key, self.buckets)
+            self.tuning_cache.record(hit=not stale)
+        else:
+            cached, stale = {}, self.buckets
+
+        mixed = self.algorithm in {"LC", "LI"}
+        length = LengthRetriever() if mixed else None
+        tuning = None
+        if stale:
+            with Timer() as timer:
+                if mixed:
+                    tuning = tune_mixed(
+                        stale,
+                        queries,
+                        query_thetas,
+                        length,
+                        coordinate,
+                        phi_grid=self.phi_grid,
+                        sample_size=self.tune_sample,
+                        seed=self.seed,
+                    )
+                else:
+                    tuning = tune_phi(
+                        stale,
+                        queries,
+                        query_thetas,
+                        coordinate,
+                        phi_grid=self.phi_grid,
+                        sample_size=self.tune_sample,
+                        seed=self.seed,
+                    )
+            self.stats.tuning_seconds += timer.elapsed
+            if use_cache:
+                self.tuning_cache.store(key, stale, tuning)
+
+        per_bucket_phi, switch_thresholds = combine_tuning(cached, tuning)
+        if not mixed:
+            return FixedSelector(coordinate, phi=DEFAULT_PHI, per_bucket_phi=per_bucket_phi)
         return PerBucketSelector(
             length,
             coordinate,
-            switch_thresholds=tuning.switch_thresholds,
-            per_bucket_phi=tuning.per_bucket_phi,
+            switch_thresholds=switch_thresholds,
+            per_bucket_phi=per_bucket_phi,
             default_phi=default_phi,
         )
 
@@ -361,7 +443,9 @@ class Lemp(Retriever):
 
         self._invalidate_threshold_dependent_indexes()
         query_thetas = np.full(prepared.size, float(theta))
-        selector = self._build_selector(prepared, query_thetas, problem="above_theta")
+        selector = self._build_selector(
+            prepared, query_thetas, problem="above_theta", parameter=float(theta)
+        )
 
         with Timer() as timer:
             query_ids, probe_ids, scores = solve_above_theta(
@@ -383,7 +467,9 @@ class Lemp(Retriever):
 
         self._invalidate_threshold_dependent_indexes()
         query_thetas = self._surrogate_topk_thresholds(prepared, k)
-        selector = self._build_selector(prepared, query_thetas, problem="row_top_k")
+        selector = self._build_selector(
+            prepared, query_thetas, problem="row_top_k", parameter=float(k)
+        )
 
         with Timer() as timer:
             indices, scores = solve_row_top_k(prepared, self.buckets, k, selector, self.stats)
@@ -412,6 +498,7 @@ class Lemp(Retriever):
             tune_sample=self.tune_sample,
             phi_grid=self.phi_grid,
             seed=self.seed,
+            tune_cache=self.tuning_cache.enabled,
         ).fit(queries)
         probes = self.store.vectors()[np.argsort(self.store.ids)]
         result = swapped.row_top_k(probes, k)

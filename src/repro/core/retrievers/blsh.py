@@ -8,6 +8,12 @@ which keeps the filter conservative and — as the evaluation shows — barely
 more selective than LENGTH alone.  The filter admits false negatives with
 probability up to ``false_negative_rate`` (0.03), making LEMP-BLSH the only
 approximate method in the family.
+
+The signatures themselves do not depend on any threshold, so they are built
+once per bucket and reused across calls; only the baked-in base threshold is
+maintained, and it only ever *ratchets down* to the smallest local threshold
+seen so far.  A smaller base demands fewer matching bits, so reuse can only
+make the filter more conservative (fewer false negatives) than a fresh build.
 """
 
 from __future__ import annotations
@@ -19,29 +25,60 @@ from repro.core.retrievers.base import BucketRetriever
 from repro.core.retrievers.length import LengthRetriever
 from repro.similarity.bayes_lsh import BayesLshFilter
 
+#: Key under which the per-bucket signature filter is stored on the bucket.
+INDEX_KEY = "blsh"
+
+
+class _CachedFilter:
+    """A bucket's signature filter together with its current base threshold."""
+
+    __slots__ = ("filter", "base_threshold")
+
+    def __init__(self, lsh_filter: BayesLshFilter, base_threshold: float) -> None:
+        self.filter = lsh_filter
+        self.base_threshold = base_threshold
+
 
 class BlshBucketRetriever(BucketRetriever):
     """LENGTH candidate generation followed by LSH signature filtering."""
 
     name = "BLSH"
 
-    def __init__(self, num_bits: int = 32, false_negative_rate: float = 0.03, seed: int = 0) -> None:
+    def __init__(self, num_bits: int = 32, false_negative_rate: float = 0.03, seed: int = 0,
+                 cache=None) -> None:
         self.num_bits = num_bits
         self.false_negative_rate = false_negative_rate
         self.seed = seed
         self._length = LengthRetriever()
+        #: Optional :class:`~repro.core.tuning_cache.TuningCache` receiving
+        #: build/reuse counters (the filter itself lives on the bucket).
+        self.cache = cache
 
-    def _filter(self, bucket: Bucket, theta_b: float) -> tuple[BayesLshFilter, float]:
-        def build() -> tuple[BayesLshFilter, float]:
-            lsh_filter = BayesLshFilter(
-                bucket.directions,
-                num_bits=self.num_bits,
-                false_negative_rate=self.false_negative_rate,
-                seed=self.seed + bucket.index,
+    def _filter(self, bucket: Bucket, theta_b: float) -> _CachedFilter:
+        entry = bucket.peek_index(INDEX_KEY)
+        if entry is None:
+            entry = bucket.set_index(
+                INDEX_KEY,
+                _CachedFilter(
+                    BayesLshFilter(
+                        bucket.directions,
+                        num_bits=self.num_bits,
+                        false_negative_rate=self.false_negative_rate,
+                        seed=self.seed + bucket.index,
+                    ),
+                    theta_b,
+                ),
             )
-            return lsh_filter, theta_b
-
-        return bucket.get_index("blsh", build)
+            if self.cache is not None:
+                self.cache.record_index_build()
+        else:
+            if theta_b < entry.base_threshold:
+                # Ratchet the base down so the minimum-match test stays
+                # conservative for the smallest threshold seen so far.
+                entry.base_threshold = theta_b
+            if self.cache is not None:
+                self.cache.record_index_reuse()
+        return entry
 
     def retrieve(
         self,
@@ -55,5 +92,5 @@ class BlshBucketRetriever(BucketRetriever):
         candidates = self._length.retrieve(bucket, query_direction, query_norm, theta, theta_b, phi)
         if candidates.size == 0 or not np.isfinite(theta_b) or theta_b <= 0.0:
             return candidates
-        lsh_filter, base_threshold = self._filter(bucket, theta_b)
-        return lsh_filter.prune(query_direction, candidates, base_threshold)
+        entry = self._filter(bucket, theta_b)
+        return entry.filter.prune(query_direction, candidates, entry.base_threshold)

@@ -5,6 +5,13 @@ which focus-set size φ) to run for a given bucket and local threshold.  Pure
 LEMP variants use a :class:`FixedSelector`; the mixed LEMP-LC / LEMP-LI
 variants use a :class:`PerBucketSelector` whose per-bucket switch point
 ``t_b`` and focus-set size ``φ_b`` are chosen by the sample-based tuner.
+
+Selectors are cheap, per-call objects; the tuner decisions they carry may
+come from a fresh tuner run, from the retriever's
+:class:`~repro.core.tuning_cache.TuningCache`, or from a mix of both (see
+:func:`repro.core.tuner.combine_tuning`).  Either way the decisions only
+steer candidate generation — every candidate is verified exactly, so the
+retrieved results do not depend on where the decisions came from.
 """
 
 from __future__ import annotations
@@ -37,6 +44,12 @@ class FixedSelector(RetrieverSelector):
     def select(self, bucket: Bucket, theta_b: float) -> tuple[BucketRetriever, int]:
         return self.retriever, int(self.per_bucket_phi.get(bucket.index, self.phi))
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"FixedSelector({self.retriever.name}, phi={self.phi}, "
+            f"tuned_buckets={len(self.per_bucket_phi)})"
+        )
+
 
 class PerBucketSelector(RetrieverSelector):
     """LENGTH below a per-bucket threshold ``t_b``, a coordinate method above it.
@@ -68,3 +81,9 @@ class PerBucketSelector(RetrieverSelector):
         if theta_b < switch:
             return self.length_retriever, phi
         return self.coord_retriever, phi
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"PerBucketSelector({self.length_retriever.name}/"
+            f"{self.coord_retriever.name}, tuned_buckets={len(self.per_bucket_phi)})"
+        )

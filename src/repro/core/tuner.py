@@ -37,6 +37,30 @@ class TuningResult:
     seconds: float = 0.0
 
 
+def combine_tuning(cached: dict, fresh: TuningResult | None) -> tuple[dict, dict]:
+    """Merge cached per-bucket tuning entries with a fresh tuner result.
+
+    ``cached`` maps a bucket index to a
+    :class:`~repro.core.tuning_cache.BucketTuning` (``None`` fields mean the
+    tuner made no decision for that bucket); ``fresh`` covers the buckets that
+    were re-tuned this call, keyed the same way.  Returns the
+    ``(per_bucket_phi, switch_thresholds)`` maps the selectors consume —
+    buckets absent from both maps fall back to the selector defaults, exactly
+    as with an uncached tuner run.
+    """
+    phi_map: dict = {}
+    switch_map: dict = {}
+    for index, entry in cached.items():
+        if entry.phi is not None:
+            phi_map[index] = int(entry.phi)
+        if entry.switch is not None:
+            switch_map[index] = float(entry.switch)
+    if fresh is not None:
+        phi_map.update(fresh.per_bucket_phi)
+        switch_map.update(fresh.switch_thresholds)
+    return phi_map, switch_map
+
+
 def _timed_retrieve(
     retriever: BucketRetriever,
     bucket: Bucket,

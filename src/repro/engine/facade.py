@@ -34,7 +34,15 @@ DEFAULT_BATCH_SIZE = 8192
 
 @dataclass
 class EngineCall:
-    """Record of one engine-level retrieval call (for monitoring/reporting)."""
+    """Record of one engine-level retrieval call (for monitoring/reporting).
+
+    ``tuning_cache_hits`` / ``tuning_cache_misses`` count, for retrievers
+    with a :class:`~repro.core.tuning_cache.TuningCache` (LEMP), how many of
+    the call's batches reused cached tuning versus having to run the
+    sample-based tuner.  A warm chunked call shows exactly one miss (the
+    first batch tunes and populates the cache) and hits for every further
+    batch; a fully warm repeat call shows only hits.
+    """
 
     problem: str
     parameter: float
@@ -42,6 +50,8 @@ class EngineCall:
     num_batches: int
     seconds: float
     num_results: int
+    tuning_cache_hits: int = 0
+    tuning_cache_misses: int = 0
 
 
 class RetrievalEngine:
@@ -59,6 +69,7 @@ class RetrievalEngine:
     """
 
     def __init__(self, retriever, **kwargs) -> None:
+        """Build (from a spec string) or wrap (an instance) the retriever."""
         if isinstance(retriever, str):
             self.spec: str | None = retriever
             self._construct_kwargs = dict(kwargs)
@@ -81,6 +92,24 @@ class RetrievalEngine:
     def stats(self):
         """The wrapped retriever's cumulative :class:`~repro.core.stats.RunStats`."""
         return self.retriever.stats
+
+    @property
+    def tuning_cache(self):
+        """The retriever's :class:`~repro.core.tuning_cache.TuningCache`, or ``None``.
+
+        ``None`` for retrievers without tuned state (naive, TA, trees, …).
+        Use it to inspect cumulative hit/miss and index build/reuse counters;
+        per-call deltas are recorded on each :class:`EngineCall` in
+        :attr:`history`.
+        """
+        return getattr(self.retriever, "tuning_cache", None)
+
+    def _tuning_counters(self) -> tuple[int, int]:
+        """Current cumulative (hits, misses) of the retriever's tuning cache."""
+        cache = self.tuning_cache
+        if cache is None:
+            return 0, 0
+        return cache.hits, cache.misses
 
     @property
     def num_probes(self) -> int:
@@ -151,8 +180,11 @@ class RetrievalEngine:
         of the full query matrix.
 
         Per-batch cost note: retrievers that tune per call (the mixed LEMP
-        algorithms) re-run their sample-based tuner for every batch, so very
-        small batch sizes trade tuning overhead for bounded memory.
+        algorithms) run their sample-based tuner on the first batch and reuse
+        the cached tuning for every further batch at the same parameters (see
+        :mod:`repro.core.tuning_cache`), so small batch sizes no longer
+        multiply the tuning overhead.  With the cache disabled
+        (``tune_cache=False``) every batch tunes afresh.
         """
         queries = as_float_matrix(queries, "queries")
         yield from self._iter_above(queries, theta, batch_size)
@@ -162,13 +194,15 @@ class RetrievalEngine:
         queries = as_float_matrix(queries, "queries")
         offsets: list[int] = []
         parts: list[AboveThetaResult] = []
+        hits_before, misses_before = self._tuning_counters()
         with Timer() as timer:
             for start, part in self._iter_above(queries, theta, batch_size):
                 offsets.append(start)
                 parts.append(part)
         merged = AboveThetaResult.concat(parts, float(theta), query_offsets=offsets)
         self._record("above_theta", float(theta), int(queries.shape[0]),
-                     len(parts), timer.elapsed, merged.num_results)
+                     len(parts), timer.elapsed, merged.num_results,
+                     hits_before, misses_before)
         return merged
 
     def _iter_top_k(self, queries: np.ndarray, k: int, batch_size: int | None):
@@ -186,18 +220,24 @@ class RetrievalEngine:
         """Solve Row-Top-k over the full query matrix in bounded batches."""
         queries = as_float_matrix(queries, "queries")
         parts: list[TopKResult] = []
+        hits_before, misses_before = self._tuning_counters()
         with Timer() as timer:
             for _, part in self._iter_top_k(queries, k, batch_size):
                 parts.append(part)
         merged = TopKResult.concat(parts, int(k))
         self._record("row_top_k", float(k), int(queries.shape[0]), len(parts),
-                     timer.elapsed, int(np.sum(merged.indices >= 0)))
+                     timer.elapsed, int(np.sum(merged.indices >= 0)),
+                     hits_before, misses_before)
         return merged
 
     def _record(self, problem: str, parameter: float, num_queries: int,
-                num_batches: int, seconds: float, num_results: int) -> None:
+                num_batches: int, seconds: float, num_results: int,
+                hits_before: int = 0, misses_before: int = 0) -> None:
+        hits_after, misses_after = self._tuning_counters()
         self.history.append(
-            EngineCall(problem, parameter, int(num_queries), num_batches, seconds, num_results)
+            EngineCall(problem, parameter, int(num_queries), num_batches, seconds, num_results,
+                       tuning_cache_hits=hits_after - hits_before,
+                       tuning_cache_misses=misses_after - misses_before)
         )
 
     # ------------------------------------------------------------ persistence
@@ -216,6 +256,7 @@ class RetrievalEngine:
         return load_engine(path)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        """Debug representation with spec and index size."""
         spec = self.spec or type(self.retriever).__name__
         return f"RetrievalEngine(spec={spec!r}, num_probes={self.num_probes})"
 
@@ -228,6 +269,7 @@ class QueryBuilder:
     """
 
     def __init__(self, engine: RetrievalEngine, queries) -> None:
+        """Bind the builder to an engine and a query matrix."""
         self._engine = engine
         self._queries = queries
         self._batch_size: int | None = None

@@ -3,7 +3,9 @@
 A saved index is a directory with two files:
 
 * ``meta.json`` — format version, library version, the retriever spec string
-  and its constructor arguments, and basic shape information;
+  and its constructor arguments, basic shape information, and (for retrievers
+  with a :class:`~repro.core.tuning_cache.TuningCache`) the cached tuning
+  entries keyed by content fingerprints;
 * ``index.npz`` — the normalised probe matrix plus, when the retriever
   implements :meth:`~repro.core.api.Retriever.index_state`, the fitted index
   arrays (stored under a ``state.`` key prefix).
@@ -82,6 +84,15 @@ def save_engine(engine, path) -> None:
         "num_probes": int(engine.num_probes),
         "has_state": state is not None,
     }
+    cache = getattr(engine.retriever, "tuning_cache", None)
+    if cache is not None and state is not None:
+        # Tuning entries are keyed by content fingerprints whose per-bucket
+        # epochs are part of the state arrays, so they stay valid (and warm)
+        # across the save/load round trip.  Without exportable state the
+        # loaded engine refits, which clears the cache — nothing to persist.
+        exported = cache.export_state()
+        if exported:
+            meta["tuning_cache"] = exported
     (directory / _META_FILE).write_text(json.dumps(meta, indent=2, sort_keys=True))
     with open(directory / _INDEX_FILE, "wb") as handle:
         np.savez(handle, **arrays)
@@ -117,6 +128,9 @@ def load_engine(path):
     engine = RetrievalEngine(meta["spec"], **meta.get("kwargs", {}))
     if state and meta.get("has_state", False):
         engine.retriever.restore_index(probes, state)
+        cache = getattr(engine.retriever, "tuning_cache", None)
+        if cache is not None and meta.get("tuning_cache"):
+            cache.restore_state(meta["tuning_cache"])
     elif probes is not None:
         engine._probes = np.ascontiguousarray(probes)
         engine.retriever.fit(engine._probes)

@@ -84,6 +84,7 @@ def register_retriever(
     """
 
     def decorator(cls):
+        """Register ``cls`` and return it unchanged."""
         parameters = inspect.signature(cls.__init__).parameters
         registration = _Registration(
             name=name.lower(),

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Check that intra-repository markdown links resolve to real files.
+
+Scans every ``*.md`` file in the repository (skipping hidden directories and
+caches), extracts inline links and images (``[text](target)``), and verifies
+that each relative target exists on disk.  External links (``http(s)://``,
+``mailto:``), pure in-page anchors (``#...``) and bare URLs are ignored;
+``path#anchor`` targets are checked for the path part only.
+
+Exit status is 0 when every link resolves, 1 otherwise (one line per broken
+link).  Run from anywhere:  ``python tools/check_links.py [root]``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link or image: [text](target) / ![alt](target).
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks are stripped before scanning (``[x](y)`` in code is code).
+FENCE_PATTERN = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules", ".ruff_cache"}
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """All markdown files under ``root``, skipping hidden/cache directories."""
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        parts = set(path.relative_to(root).parts[:-1])
+        if parts & SKIP_DIRS or any(part.startswith(".") for part in parts):
+            continue
+        files.append(path)
+    return files
+
+
+def broken_links(path: Path, root: Path) -> list[tuple[str, str]]:
+    """Return ``(target, reason)`` pairs for unresolvable links in ``path``."""
+    text = FENCE_PATTERN.sub("", path.read_text(encoding="utf-8"))
+    problems = []
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        if file_part.startswith("/"):
+            resolved = root / file_part.lstrip("/")
+        else:
+            resolved = path.parent / file_part
+        if not resolved.exists():
+            problems.append((target, f"missing: {resolved.relative_to(root)}"))
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Entry point: scan the repo (or ``argv[1]``) and report broken links."""
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    failures = 0
+    checked = 0
+    for path in markdown_files(root):
+        checked += 1
+        for target, reason in broken_links(path, root):
+            failures += 1
+            print(f"{path.relative_to(root)}: broken link {target!r} ({reason})")
+    print(f"checked {checked} markdown files: "
+          f"{'all links resolve' if failures == 0 else f'{failures} broken link(s)'}")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
