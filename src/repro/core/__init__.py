@@ -3,6 +3,7 @@
 from repro.core.api import Retriever
 from repro.core.bucket import Bucket
 from repro.core.bucketize import bucketize, max_bucket_size_for_cache
+from repro.core.kernels import blocked_kernel_supported, get_kernel, set_kernel, use_kernel
 from repro.core.lemp import ALGORITHMS, Lemp
 from repro.core.results import AboveThetaResult, TopKResult
 from repro.core.stats import RunStats
@@ -24,8 +25,12 @@ __all__ = [
     "TuningCache",
     "VectorStore",
     "bucketize",
+    "blocked_kernel_supported",
     "feasible_region",
+    "get_kernel",
     "local_threshold",
     "local_thresholds",
     "max_bucket_size_for_cache",
+    "set_kernel",
+    "use_kernel",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.bucket import Bucket
+from repro.core.kernels import gather_matvec
 from repro.core.selector import RetrieverSelector
 from repro.core.stats import RunStats
 from repro.core.thresholds import local_thresholds
@@ -61,10 +62,10 @@ def solve_above_theta(
             stats.candidates += int(candidates.size)
             if candidates.size == 0:
                 continue
-            # einsum (not @) keeps each row's rounding independent of the
+            # The kernel keeps each row's rounding independent of the
             # candidate-set size, so scores are bit-identical across different
             # tuning outcomes, incremental updates, and index reloads.
-            cosines = np.einsum("ij,j->i", bucket_directions[candidates], query_direction)
+            cosines = gather_matvec(bucket_directions, candidates, query_direction)
             scores = cosines * (query_norm * bucket_lengths[candidates])
             stats.inner_products += int(candidates.size)
             hits = scores >= theta - _VERIFY_SLACK

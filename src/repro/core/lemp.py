@@ -161,6 +161,29 @@ class Lemp(Retriever):
         """Number of indexed probe rows, or ``None`` before :meth:`fit`."""
         return None if self.store is None else self.store.size
 
+    @property
+    def supports_parallel_queries(self) -> bool:
+        """Whether the engine may shard queries across concurrent worker views.
+
+        ``True`` for every exact algorithm: candidate generation only reads
+        shared state (lazy per-bucket index builds are deterministic and
+        idempotent; the L2AP lower-bound rule keeps concurrently rebuilt
+        indexes exact), and every candidate is verified with the
+        deterministic kernel, so results are bit-identical to serial
+        execution regardless of interleaving.  ``False`` for the
+        approximate LEMP-BLSH, whose per-bucket minimum-match base ratchets
+        down in *processing order* — concurrent shards would make the
+        filter's false negatives order-dependent.
+
+        Caveat for LEMP-L2AP: on a *cold* sharded call the order in which
+        shards rebuild a bucket's threshold-reduced index is
+        interleaving-dependent, so candidate-count statistics (never the
+        results) can differ from a serial run until every index has
+        ratcheted to the smallest base; warm calls are fully
+        deterministic.
+        """
+        return self.algorithm != "BLSH"
+
     def get_params(self) -> dict:
         """Constructor arguments needed to rebuild an equivalent retriever."""
         return {

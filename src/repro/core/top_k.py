@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.bucket import Bucket
+from repro.core.kernels import gather_matvec
 from repro.core.selector import RetrieverSelector
 from repro.core.stats import RunStats
 from repro.core.thresholds import local_threshold
@@ -61,9 +62,9 @@ def solve_row_top_k(
             stats.candidates += int(candidates.size)
             if candidates.size == 0:
                 continue
-            # einsum (not @) keeps each row's rounding independent of the
+            # The kernel keeps each row's rounding independent of the
             # candidate-set size; see the matching comment in above_theta.py.
-            cosines = np.einsum("ij,j->i", bucket.directions[candidates], query_direction)
+            cosines = gather_matvec(bucket.directions, candidates, query_direction)
             candidate_scores = cosines * bucket.lengths[candidates]
             stats.inner_products += int(candidates.size)
 

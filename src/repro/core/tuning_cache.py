@@ -39,6 +39,7 @@ the index state.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -119,6 +120,12 @@ class TuningCache:
         self.index_builds = 0
         self.index_reuses = 0
         self._entries: dict[CacheKey, dict[BucketFingerprint, BucketTuning]] = {}
+        # One cache is shared by every worker view of a retriever (see
+        # Retriever.worker_view), so the counters are guarded against
+        # concurrent increments; entry reads/writes are per-key dict
+        # operations that are atomic under the GIL and deterministic in
+        # content (concurrent stores write identical tuner output).
+        self._counter_lock = threading.Lock()
 
     # ------------------------------------------------------------ introspection
 
@@ -181,19 +188,22 @@ class TuningCache:
             )
 
     def record(self, hit: bool) -> None:
-        """Count one selector-level cache hit or miss."""
-        if hit:
-            self.hits += 1
-        else:
-            self.misses += 1
+        """Count one selector-level cache hit or miss (thread-safe)."""
+        with self._counter_lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
 
     def record_index_build(self) -> None:
-        """Count one threshold-derived bucket index construction."""
-        self.index_builds += 1
+        """Count one threshold-derived bucket index construction (thread-safe)."""
+        with self._counter_lock:
+            self.index_builds += 1
 
     def record_index_reuse(self) -> None:
-        """Count one guarded reuse of a threshold-derived bucket index."""
-        self.index_reuses += 1
+        """Count one guarded reuse of a threshold-derived bucket index (thread-safe)."""
+        with self._counter_lock:
+            self.index_reuses += 1
 
     # ------------------------------------------------------------- invalidation
 

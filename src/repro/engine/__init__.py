@@ -6,8 +6,9 @@ This package is the serving-oriented surface over the algorithmic core:
   from a string spec such as ``"lemp:LI"``, ``"naive"``, ``"ta:heap"`` or
   ``"tree:cover"``; new retrieval methods self-register with the decorator.
 * :class:`RetrievalEngine` — wraps a retriever with chunked/batched query
-  execution, a fluent query builder, per-call statistics, incremental index
-  updates, and ``save`` / ``load`` persistence.
+  execution (serial, or sharded across a thread pool with ``workers=N``),
+  a fluent query builder, per-call statistics, incremental index updates,
+  and ``save`` / ``load`` persistence.
 
 Quick start::
 

@@ -14,10 +14,22 @@ Three equivalent calling styles::
     engine.query(queries).batch_size(4096).top_k(10)     # fluent builder
     for offset, part in engine.iter_row_top_k(queries, 10, 4096):
         ...                                              # streaming batches
+
+With ``RetrievalEngine(..., workers=N)`` the chunks of one call are sharded
+across a thread pool (NumPy/BLAS releases the GIL, so shards genuinely run
+in parallel).  The first chunk always runs serially so the retriever's
+shared :class:`~repro.core.tuning_cache.TuningCache` is warmed exactly once;
+the remaining chunks run on per-shard
+:meth:`~repro.core.api.Retriever.worker_view` clones whose statistics are
+merged back in shard order.  Results are concatenated in query order and
+are bit-identical to serial execution (see
+:attr:`~repro.core.api.Retriever.supports_parallel_queries`).
 """
 
 from __future__ import annotations
 
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,6 +64,10 @@ class EngineCall:
     num_results: int
     tuning_cache_hits: int = 0
     tuning_cache_misses: int = 0
+    #: Worker threads the call actually sharded across (1 = serial: either
+    #: the engine's setting, a single-batch call, or a retriever that does
+    #: not support parallel queries).
+    workers: int = 1
 
 
 class RetrievalEngine:
@@ -63,13 +79,26 @@ class RetrievalEngine:
         Either a spec string understood by
         :func:`repro.engine.registry.create_retriever` (``"lemp:LI"``,
         ``"naive"``, …) or an already-constructed retriever instance.
+    workers:
+        Number of threads the chunks of one call are sharded across
+        (default 1 = serial).  With ``workers > 1`` the first chunk runs
+        serially (warming the shared tuning cache), the rest run
+        concurrently on :meth:`~repro.core.api.Retriever.worker_view`
+        clones, and results/statistics are merged deterministically in
+        query order — bit-identical to a serial run.  The attribute is
+        plain and may be reassigned between calls to A/B parallelism.
+        Retrievers that do not declare
+        :attr:`~repro.core.api.Retriever.supports_parallel_queries`
+        (or whose query path is order-dependent, like the approximate
+        LEMP-BLSH) are transparently executed serially.
     **kwargs:
         Constructor arguments forwarded when ``retriever`` is a spec string
         (ignored otherwise; passing them with an instance is an error).
     """
 
-    def __init__(self, retriever, **kwargs) -> None:
+    def __init__(self, retriever, workers: int = 1, **kwargs) -> None:
         """Build (from a spec string) or wrap (an instance) the retriever."""
+        self.workers = require_positive_int(workers, "workers")
         if isinstance(retriever, str):
             self.spec: str | None = retriever
             self._construct_kwargs = dict(kwargs)
@@ -85,6 +114,8 @@ class RetrievalEngine:
             self._construct_kwargs = dict(params()) if callable(params) else {}
         self.history: list[EngineCall] = []
         self._probes: np.ndarray | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_size = 0
 
     # ------------------------------------------------------------- life cycle
 
@@ -166,11 +197,105 @@ class RetrievalEngine:
         for start in range(0, queries.shape[0], batch_size):
             yield start, queries[start:start + batch_size]
 
+    # ----------------------------------------------------- sharded execution
+
+    def _effective_workers(self, num_batches: int) -> int:
+        """Worker threads a call with ``num_batches`` chunks will shard across.
+
+        1 (serial) unless the engine is configured with ``workers > 1``,
+        there is more than one chunk, and the retriever declares
+        ``supports_parallel_queries`` and provides ``worker_view``.  The
+        first chunk always runs serially, so at most ``num_batches - 1``
+        threads are ever useful.
+        """
+        if self.workers <= 1 or num_batches <= 1:
+            return 1
+        if not getattr(self.retriever, "supports_parallel_queries", False):
+            return 1
+        if getattr(self.retriever, "worker_view", None) is None:
+            return 1
+        return min(self.workers, num_batches - 1)
+
+    def _solve_batches(self, batches: list, solve):
+        """Yield ``(row_offset, result)`` per batch, in query order.
+
+        Serial or sharded depending on :meth:`_effective_workers`.  The
+        sharded path runs the first batch on the engine's own retriever
+        (running the tuner / building lazy indexes exactly once into the
+        shared caches), fans the remaining batches out to per-shard
+        :meth:`~repro.core.api.Retriever.worker_view` clones on a thread
+        pool with a bounded prefetch window, and yields results strictly in
+        submission order.  Shard statistics are merged into the retriever's
+        :class:`~repro.core.stats.RunStats` in batch order, so cumulative
+        counters match a serial run exactly.
+        """
+        workers = self._effective_workers(len(batches))
+        if workers <= 1:
+            for start, block in batches:
+                yield start, solve(self.retriever, block)
+            return
+
+        first_start, first_block = batches[0]
+        yield first_start, solve(self.retriever, first_block)
+        views = [self.retriever.worker_view() for _ in batches[1:]]
+        # The pool is sized by the *configured* worker count so it survives
+        # calls with fewer batches; per-call concurrency is still bounded by
+        # the in-flight window below.
+        pool = self._executor(self.workers)
+        window = 2 * workers
+        pending: deque = deque()
+        next_batch = 1
+        try:
+            while pending or next_batch < len(batches):
+                while next_batch < len(batches) and len(pending) < window:
+                    start, block = batches[next_batch]
+                    view = views[next_batch - 1]
+                    pending.append((start, pool.submit(solve, view, block)))
+                    next_batch += 1
+                start, future = pending.popleft()
+                yield start, future.result()
+        finally:
+            # If the consumer abandoned the iterator (or a shard raised),
+            # settle the in-flight futures before touching shard state:
+            # queued ones are cancelled, running ones are waited out.
+            for _, future in pending:
+                future.cancel()
+                if not future.cancelled():
+                    try:
+                        future.result()
+                    except Exception:  # noqa: S110 - shard error already surfaced
+                        pass
+            # Deterministic roll-up: batch order, not completion order, so
+            # counter totals (and float timing sums) are reproducible.
+            for view in views:
+                self.retriever.stats.merge(view.stats)
+
+    def _executor(self, workers: int) -> ThreadPoolExecutor:
+        """The engine-owned worker pool, (re)created lazily.
+
+        Reused across calls so worker threads — and their per-thread kernel
+        scratch buffers — stay warm; recreated only when :attr:`workers`
+        changes so the pool size always matches the configured concurrency.
+        Idle threads are cleaned up at interpreter exit by
+        :mod:`concurrent.futures` itself.
+        """
+        if self._pool is None or self._pool_size != workers:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-engine-worker"
+            )
+            self._pool_size = workers
+        return self._pool
+
     def _iter_above(self, queries: np.ndarray, theta: float, batch_size: int | None):
         require_positive(theta, "theta")
-        solve = _require_method(self.retriever, "above_theta")
-        for start, block in self._batches(queries, batch_size):
-            yield start, solve(block, theta)
+        _require_method(self.retriever, "above_theta")
+
+        def solve(retriever, block):
+            return retriever.above_theta(block, theta)
+
+        yield from self._solve_batches(list(self._batches(queries, batch_size)), solve)
 
     def iter_above_theta(self, queries, theta: float, batch_size: int | None = None):
         """Yield ``(row_offset, AboveThetaResult)`` per query batch.
@@ -185,6 +310,12 @@ class RetrievalEngine:
         :mod:`repro.core.tuning_cache`), so small batch sizes no longer
         multiply the tuning overhead.  With the cache disabled
         (``tune_cache=False``) every batch tunes afresh.
+
+        With ``workers > 1`` upcoming batches are prefetched on the worker
+        pool (a bounded window of ``2 * workers``), so abandoning the
+        iterator early may still have computed — and counted into the
+        retriever's statistics — a few batches beyond the last one consumed.
+        Yield order remains strict query order either way.
         """
         queries = as_float_matrix(queries, "queries")
         yield from self._iter_above(queries, theta, batch_size)
@@ -207,9 +338,12 @@ class RetrievalEngine:
 
     def _iter_top_k(self, queries: np.ndarray, k: int, batch_size: int | None):
         require_positive_int(k, "k")
-        solve = _require_method(self.retriever, "row_top_k")
-        for start, block in self._batches(queries, batch_size):
-            yield start, solve(block, k)
+        _require_method(self.retriever, "row_top_k")
+
+        def solve(retriever, block):
+            return retriever.row_top_k(block, k)
+
+        yield from self._solve_batches(list(self._batches(queries, batch_size)), solve)
 
     def iter_row_top_k(self, queries, k: int, batch_size: int | None = None):
         """Yield ``(row_offset, TopKResult)`` per query batch."""
@@ -237,7 +371,8 @@ class RetrievalEngine:
         self.history.append(
             EngineCall(problem, parameter, int(num_queries), num_batches, seconds, num_results,
                        tuning_cache_hits=hits_after - hits_before,
-                       tuning_cache_misses=misses_after - misses_before)
+                       tuning_cache_misses=misses_after - misses_before,
+                       workers=self._effective_workers(num_batches))
         )
 
     # ------------------------------------------------------------ persistence
@@ -258,7 +393,10 @@ class RetrievalEngine:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         """Debug representation with spec and index size."""
         spec = self.spec or type(self.retriever).__name__
-        return f"RetrievalEngine(spec={spec!r}, num_probes={self.num_probes})"
+        return (
+            f"RetrievalEngine(spec={spec!r}, num_probes={self.num_probes}, "
+            f"workers={self.workers})"
+        )
 
 
 class QueryBuilder:

@@ -83,6 +83,7 @@ def save_engine(engine, path) -> None:
         "kwargs": _jsonable(engine._construct_kwargs),
         "num_probes": int(engine.num_probes),
         "has_state": state is not None,
+        "workers": int(engine.workers),
     }
     cache = getattr(engine.retriever, "tuning_cache", None)
     if cache is not None and state is not None:
@@ -125,7 +126,9 @@ def load_engine(path):
             if key.startswith(_STATE_PREFIX)
         }
 
-    engine = RetrievalEngine(meta["spec"], **meta.get("kwargs", {}))
+    engine = RetrievalEngine(
+        meta["spec"], workers=int(meta.get("workers", 1)), **meta.get("kwargs", {})
+    )
     if state and meta.get("has_state", False):
         engine.retriever.restore_index(probes, state)
         cache = getattr(engine.retriever, "tuning_cache", None)
