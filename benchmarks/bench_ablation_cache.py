@@ -1,6 +1,6 @@
-"""Cache, kernel and worker ablations for the engine's hot path.
+"""Cache, kernel, worker and probe-shard ablations for the engine's hot path.
 
-Three knobs are ablated here.  First, the paper's Section 6.2 comparison of
+Four knobs are ablated here.  First, the paper's Section 6.2 comparison of
 cache-aware vs cache-oblivious bucketisation (the bucket-size cap as the
 knob).  Second, the engine-layer tuning cache: a chunked ``RetrievalEngine``
 call used to re-run LEMP's sample-based tuner once per chunk; with the
@@ -10,10 +10,14 @@ hit, with bit-identical results.  Third, the verification kernel
 (``einsum`` reference vs the blocked BLAS kernel) crossed with the engine's
 ``workers`` dimension — every combination must return results identical to
 the serial einsum baseline (bit-identical within a kernel; the kernels
-agree on the retrieved sets).
+agree on the retrieved sets).  Fourth, probe-side sharding: warm
+single-query Above-θ sweeps with the engine's spare workers routed to
+bucket-range probe shards — byte-identical to serial at every shard count.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
@@ -21,6 +25,7 @@ import pytest
 from repro.core.kernels import use_kernel
 from repro.engine import RetrievalEngine
 from repro.eval import format_table, make_retriever, run_row_top_k
+from repro.eval.recall import theta_for_result_count
 
 from benchmarks.conftest import BENCH_SEED, write_report
 
@@ -194,5 +199,63 @@ def test_engine_kernel_workers_report(benchmark, dataset_cache):
     write_report(
         "ablation_kernel_workers.txt",
         "Verification kernel x workers: chunked Row-Top-5, warm engines",
+        table,
+    )
+
+
+#: Engine worker counts for the probe-shard ablation (1 = serial baseline;
+#: single-query calls route the spare workers to probe shards).
+PROBE_SHARD_WORKERS = (1, 2, 4)
+
+#: Queries of each single-query sweep.
+SINGLE_QUERY_COUNT = 20
+
+
+def test_engine_probe_shards_report(benchmark, dataset_cache):
+    """Probe-side sharding ablation (PR 4 tentpole): single-query latency.
+
+    A one-query Above-θ call is a single batch, so chunk sharding has
+    nothing to split; with ``workers > 1`` the engine routes the call to
+    bucket-range probe shards instead.  Every shard count must return
+    byte-identical results (asserted below); the written table records what
+    sharding does to the warm single-query sweep on this machine.
+    """
+
+    def run_all():
+        rows = []
+        for dataset_name in DATASETS:
+            dataset = dataset_cache(dataset_name)
+            theta = theta_for_result_count(dataset.queries, dataset.probes, 1000)
+            engine = RetrievalEngine("LEMP-LI", seed=BENCH_SEED).fit(dataset.probes)
+            count = min(SINGLE_QUERY_COUNT, dataset.queries.shape[0])
+            singles = [dataset.queries[row:row + 1] for row in range(count)]
+            reference = None
+            for workers in PROBE_SHARD_WORKERS:
+                engine.workers = workers
+                for single in singles:  # warm tuning + lazy indexes + pool
+                    engine.above_theta(single, theta)
+                started = time.perf_counter()
+                results = [engine.above_theta(single, theta) for single in singles]
+                elapsed = time.perf_counter() - started
+                call = engine.history[-1]
+                if reference is None:
+                    reference = results
+                else:
+                    for expected, observed in zip(reference, results):
+                        assert np.array_equal(expected.query_ids, observed.query_ids)
+                        assert np.array_equal(expected.probe_ids, observed.probe_ids)
+                        assert np.array_equal(expected.scores, observed.scores)
+                rows.append(
+                    [dataset_name, workers, call.probe_shards, count, f"{elapsed:.4f}"]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "workers", "probe shards", "queries", "warm sweep [s]"], rows
+    )
+    write_report(
+        "ablation_probe_shards.txt",
+        "Probe-side sharding: warm single-query Above-theta sweeps",
         table,
     )

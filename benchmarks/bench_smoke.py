@@ -1,17 +1,20 @@
-"""CI smoke benchmark: kernel throughput gate + parallel determinism gate.
+"""CI smoke benchmark: kernel, parallel-determinism and probe-shard gates.
 
 Runs a tiny synthetic Row-Top-k / Above-θ workload through the
 :class:`~repro.engine.facade.RetrievalEngine` four ways — serial vs.
-``workers=N``, blocked kernel vs. the einsum reference — and writes the
-timings and check outcomes to a JSON report (``BENCH_smoke.json``).
+``workers=N``, blocked kernel vs. the einsum reference — plus a warm
+single-query sweep with probe-side sharding, and writes the timings and
+check outcomes to a JSON report (``BENCH_smoke.json``).
 
-The script exits non-zero (failing the CI ``bench-smoke`` job) when either
+The script exits non-zero (failing the CI ``bench-smoke`` job) when any of
 
 * the blocked verification kernel is slower end-to-end than the einsum
   reference beyond ``--margin`` (the kernel must at least match einsum
   throughput — the reason it exists), or
 * parallel results are not byte-identical to serial ones, or the parallel
-  run's cumulative counters drift from the serial run's.
+  run's cumulative counters drift from the serial run's, or
+* the probe-sharded warm single-query path drifts from serial (bytes or
+  counters) or regresses beyond ``--margin`` against the serial sweep.
 
 Timings take the best of ``--repeats`` runs on warmed engines, which is
 robust against CI neighbours; the determinism checks are exact and
@@ -61,6 +64,15 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument(
         "--margin", type=float, default=1.10,
         help="blocked/einsum time ratio above which the gate fails",
+    )
+    parser.add_argument(
+        "--probe-gate-probes", type=int, default=24000,
+        help="probe rows of the dedicated probe-shard gate index (large enough "
+             "that per-call pool overhead amortises even on one core)",
+    )
+    parser.add_argument(
+        "--single-queries", type=int, default=30,
+        help="queries of the single-query probe-shard sweep",
     )
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
     parser.add_argument(
@@ -152,6 +164,82 @@ def run_smoke(args: argparse.Namespace) -> dict:
         "detail": f"workers={args.workers} must return byte-identical results and stats",
     }
 
+    # Probe-shard gate: warm single-query Above-θ sweeps on a dedicated,
+    # larger index (single-query latency is what probe sharding exists for;
+    # chunk sharding cannot touch a one-batch call).  The same engine is
+    # reused with ``workers`` toggled, so tuning is shared and the
+    # byte-identity / counter checks are exact.
+    gate_probes = synthetic_factors(
+        args.probe_gate_probes, rank=args.rank, length_cov=0.8, seed=args.seed + 2
+    )
+    probe_engine = RetrievalEngine("lemp:LI", seed=args.seed).fit(gate_probes)
+    singles = [queries[row:row + 1] for row in range(min(args.single_queries, len(queries)))]
+
+    def single_sweep():
+        return [probe_engine.above_theta(single, args.theta) for single in singles]
+
+    probe_engine.workers = 1
+    serial_results = single_sweep()  # warm-up: tunes, builds lazy indexes
+    probe_engine.workers = args.workers
+    single_sweep()  # warm-up the worker pool too
+
+    # Serial and sharded sweeps are timed *interleaved* (best-of over pairs)
+    # so slow drift on a noisy CI neighbour hits both sides equally; the
+    # single-core worst case for the sharded path is pure pool overhead,
+    # which the larger gate index keeps inside the margin.
+    best_serial = best_sharded = float("inf")
+    for _ in range(max(args.repeats, 5)):
+        probe_engine.workers = 1
+        started = time.perf_counter()
+        single_sweep()
+        best_serial = min(best_serial, time.perf_counter() - started)
+        probe_engine.workers = args.workers
+        started = time.perf_counter()
+        single_sweep()
+        best_sharded = min(best_sharded, time.perf_counter() - started)
+    timings["single_query_serial"] = best_serial
+    timings["single_query_probe_sharded"] = best_sharded
+
+    probe_engine.workers = 1
+    before = counter_snapshot(probe_engine)
+    serial_results = single_sweep()
+    serial_single_deltas = counter_delta(probe_engine, before)
+
+    probe_engine.workers = args.workers
+    before = counter_snapshot(probe_engine)
+    sharded_results = single_sweep()
+    sharded_single_deltas = counter_delta(probe_engine, before)
+
+    single_identical = all(
+        np.array_equal(expected.query_ids, observed.query_ids)
+        and np.array_equal(expected.probe_ids, observed.probe_ids)
+        and np.array_equal(expected.scores, observed.scores)
+        for expected, observed in zip(serial_results, sharded_results)
+    )
+    single_drift = {
+        name: {"serial": serial_single_deltas[name], "sharded": sharded_single_deltas[name]}
+        for name in COUNTERS
+        if serial_single_deltas[name] != sharded_single_deltas[name]
+    }
+    sharded_calls = [call.probe_shards for call in probe_engine.history[-len(singles):]]
+    single_ratio = timings["single_query_probe_sharded"] / timings["single_query_serial"]
+    checks["probe_shard_gate"] = {
+        "passed": (
+            single_identical and not single_drift
+            and all(shards == args.workers for shards in sharded_calls)
+            and single_ratio <= args.margin
+        ),
+        "results_byte_identical": single_identical,
+        "counter_drift": single_drift,
+        "call_probe_shards": sorted(set(sharded_calls)),
+        "sharded_over_serial_time_ratio": round(single_ratio, 4),
+        "margin": args.margin,
+        "detail": (
+            f"probe_shards={args.workers} single-query sweep must match serial "
+            "byte-for-byte and not regress beyond the margin"
+        ),
+    }
+
     speedup = timings["serial_blocked"] / timings["parallel_blocked"]
     report = {
         "benchmark": "bench_smoke",
@@ -162,10 +250,14 @@ def run_smoke(args: argparse.Namespace) -> dict:
         "dataset": {
             "probes": args.probes, "queries": args.queries, "rank": args.rank,
             "k": args.k, "theta": args.theta, "batch_size": args.batch_size,
-            "seed": args.seed,
+            "probe_gate_probes": args.probe_gate_probes,
+            "single_queries": len(singles), "seed": args.seed,
         },
         "timings_seconds": {label: round(value, 5) for label, value in timings.items()},
         "parallel_speedup_over_serial": round(speedup, 3),
+        "probe_shard_speedup_over_serial": round(
+            timings["single_query_serial"] / timings["single_query_probe_sharded"], 3
+        ),
         "checks": checks,
         "passed": all(check["passed"] for check in checks.values()),
     }

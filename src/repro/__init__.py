@@ -58,7 +58,7 @@ from repro.exceptions import (
     UnsupportedOperationError,
 )
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "ALGORITHMS",

@@ -14,6 +14,20 @@ class BucketRetriever(ABC):
 
     Subclasses implement :meth:`retrieve`; the Above-θ / Row-Top-k solvers take
     care of bucket-level pruning beforehand and exact verification afterwards.
+
+    **Shard-safety contract.**  One retriever instance (via one selector) is
+    shared by every concurrent probe shard and worker view of a call, so
+    :meth:`retrieve` must be a pure function of its arguments plus the
+    constructor configuration: no per-call mutable state on ``self``, and any
+    per-bucket state goes through the bucket's lazy-index slots
+    (:meth:`~repro.core.bucket.Bucket.get_index` /
+    :meth:`~repro.core.bucket.Bucket.peek_index`), where builds must be
+    deterministic and idempotent — a racing double-build has to produce
+    bit-identical content.  The candidate set returned for a
+    ``(query, bucket, thresholds)`` triple must not depend on which
+    (query, bucket) pairs were processed before it; this order-independence
+    is what makes bucket-range probe shards byte-identical to a serial probe
+    (asserted in ``tests/test_probe_sharding.py``).
     """
 
     #: Short name used by the tuner and in benchmark output.

@@ -1,19 +1,24 @@
 """BayesLSH-Lite as a bucket retrieval algorithm (LEMP-BLSH, paper Section 6.3).
 
 Candidates are first generated with the LENGTH prefix rule and then filtered
-by the BayesLSH-Lite minimum-match signature test.  As in the paper, the
-minimum number of matching bits is precomputed from the smallest local
-threshold the bucket sees (the one of the longest query processed first),
-which keeps the filter conservative and — as the evaluation shows — barely
-more selective than LENGTH alone.  The filter admits false negatives with
-probability up to ``false_negative_rate`` (0.03), making LEMP-BLSH the only
-approximate method in the family.
+by the BayesLSH-Lite minimum-match signature test.  The minimum number of
+matching bits is derived *per (query, bucket) pair* from that pair's own local
+threshold ``theta_b`` — a pure function of the call's inputs, computed up
+front and never mutated mid-probe.  This is the retriever's **determinism
+contract**: the candidate set for a (query, bucket) pair depends only on
+``(query, bucket contents, theta_b, seed)``, so LEMP-BLSH returns the same
+results for any bucket visitation order, any probe-shard partition, and any
+query processing order.  (An earlier implementation baked the smallest
+``theta_b`` seen so far into the bucket and *ratcheted* it down across
+queries and calls, which made the filter's false negatives depend on
+processing order and blocked intra-query parallelism.)
 
-The signatures themselves do not depend on any threshold, so they are built
-once per bucket and reused across calls; only the baked-in base threshold is
-maintained, and it only ever *ratchets down* to the smallest local threshold
-seen so far.  A smaller base demands fewer matching bits, so reuse can only
-make the filter more conservative (fewer false negatives) than a fresh build.
+The filter admits false negatives with probability up to
+``false_negative_rate`` (0.03) per pair, making LEMP-BLSH the only
+approximate method in the family.  The signatures themselves do not depend on
+any threshold, so they are built once per bucket (seeded by the bucket
+ordinal) and reused across calls, worker views, and probe shards — a racing
+double-build produces bit-identical content.
 """
 
 from __future__ import annotations
@@ -27,16 +32,6 @@ from repro.similarity.bayes_lsh import BayesLshFilter
 
 #: Key under which the per-bucket signature filter is stored on the bucket.
 INDEX_KEY = "blsh"
-
-
-class _CachedFilter:
-    """A bucket's signature filter together with its current base threshold."""
-
-    __slots__ = ("filter", "base_threshold")
-
-    def __init__(self, lsh_filter: BayesLshFilter, base_threshold: float) -> None:
-        self.filter = lsh_filter
-        self.base_threshold = base_threshold
 
 
 class BlshBucketRetriever(BucketRetriever):
@@ -54,30 +49,28 @@ class BlshBucketRetriever(BucketRetriever):
         #: build/reuse counters (the filter itself lives on the bucket).
         self.cache = cache
 
-    def _filter(self, bucket: Bucket, theta_b: float) -> _CachedFilter:
+    def _filter(self, bucket: Bucket) -> BayesLshFilter:
+        """The bucket's signature filter, built on first use.
+
+        The filter holds only threshold-free signatures (the minimum-match
+        base is recomputed per call from ``theta_b``), so it is valid for
+        every query and reused unconditionally.
+        """
         entry = bucket.peek_index(INDEX_KEY)
         if entry is None:
             entry = bucket.set_index(
                 INDEX_KEY,
-                _CachedFilter(
-                    BayesLshFilter(
-                        bucket.directions,
-                        num_bits=self.num_bits,
-                        false_negative_rate=self.false_negative_rate,
-                        seed=self.seed + bucket.index,
-                    ),
-                    theta_b,
+                BayesLshFilter(
+                    bucket.directions,
+                    num_bits=self.num_bits,
+                    false_negative_rate=self.false_negative_rate,
+                    seed=self.seed + bucket.index,
                 ),
             )
             if self.cache is not None:
                 self.cache.record_index_build()
-        else:
-            if theta_b < entry.base_threshold:
-                # Ratchet the base down so the minimum-match test stays
-                # conservative for the smallest threshold seen so far.
-                entry.base_threshold = theta_b
-            if self.cache is not None:
-                self.cache.record_index_reuse()
+        elif self.cache is not None:
+            self.cache.record_index_reuse()
         return entry
 
     def retrieve(
@@ -92,5 +85,4 @@ class BlshBucketRetriever(BucketRetriever):
         candidates = self._length.retrieve(bucket, query_direction, query_norm, theta, theta_b, phi)
         if candidates.size == 0 or not np.isfinite(theta_b) or theta_b <= 0.0:
             return candidates
-        entry = self._filter(bucket, theta_b)
-        return entry.filter.prune(query_direction, candidates, entry.base_threshold)
+        return self._filter(bucket).prune(query_direction, candidates, theta_b)

@@ -39,7 +39,17 @@ class RunStats:
         return self.preprocessing_seconds + self.tuning_seconds + self.retrieval_seconds
 
     def merge(self, other: "RunStats") -> "RunStats":
-        """Accumulate another run's counters into this one and return ``self``."""
+        """Accumulate another run's counters into this one and return ``self``.
+
+        This is also the probe-shard / worker-view roll-up: shards record
+        into private ``RunStats`` objects and are merged back *in plan
+        order* (bucket order for probe shards, batch order for engine
+        workers).  The count fields are integers, so the merged totals equal
+        a serial run's exactly; the ``seconds`` fields are float sums whose
+        reproducibility — not wall-clock equality — is what the fixed merge
+        order buys.  Numeric ``extra`` entries are summed, other values are
+        taken from the first run that set them.
+        """
         self.num_queries += other.num_queries
         self.candidates += other.candidates
         self.results += other.results
@@ -49,6 +59,11 @@ class RunStats:
         self.preprocessing_seconds += other.preprocessing_seconds
         self.tuning_seconds += other.tuning_seconds
         self.retrieval_seconds += other.retrieval_seconds
+        for key, value in other.extra.items():
+            if isinstance(value, (int, float)) and isinstance(self.extra.get(key), (int, float)):
+                self.extra[key] += value
+            else:
+                self.extra.setdefault(key, value)
         return self
 
     def reset(self) -> None:

@@ -26,19 +26,38 @@ def solve_row_top_k(
     k: int,
     selector: RetrieverSelector,
     stats: RunStats,
+    positions=None,
+    out: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Retrieve the k largest inner products for every query row.
 
     Returns ``(indices, scores)`` arrays of shape ``(num_queries, k)`` indexed
     by *original* query id, padded with -1 / -inf where fewer than ``k`` probes
     exist.
+
+    ``positions`` restricts the solve to a subset of query positions (default:
+    all), and ``out`` supplies pre-allocated full-size output arrays to fill.
+    Together they are the probe-shard entry point (see
+    :meth:`repro.core.lemp.Lemp.row_top_k`): each query's bucket walk is
+    independent of every other query's, and each walk writes exactly one row
+    of the output, so shards over disjoint position ranges may fill the same
+    ``out`` arrays concurrently and produce bytes identical to one serial
+    pass.  The θ′ ratchet makes the walk itself sequential *within* a query —
+    bucket j's candidate set depends on the scores verified in buckets
+    ``< j`` — which is why probe shards partition query rows here, unlike the
+    bucket-range shards of :func:`~repro.core.above_theta.solve_above_theta`.
     """
     num_probes = sum(bucket.size for bucket in buckets)
     effective_k = min(k, num_probes)
-    indices = np.full((queries.size, k), -1, dtype=np.int64)
-    scores = np.full((queries.size, k), -np.inf)
+    if out is None:
+        indices = np.full((queries.size, k), -1, dtype=np.int64)
+        scores = np.full((queries.size, k), -np.inf)
+    else:
+        indices, scores = out
+    if positions is None:
+        positions = range(queries.size)
 
-    for position in range(queries.size):
+    for position in positions:
         query_direction = queries.directions[position]
         original_id = int(queries.ids[position])
 

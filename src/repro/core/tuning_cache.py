@@ -3,8 +3,9 @@
 LEMP's speed rests on two per-call side effects that are expensive to
 recompute: the sample-based per-bucket tuning of Section 4.4 (the focus-set
 size ``phi_b`` and the LENGTH/coordinate switch point ``t_b``), and the
-threshold-dependent per-bucket indexes of LEMP-L2AP / LEMP-BLSH whose content
-bakes in the local threshold of the query that built them.  When the
+lazily built per-bucket indexes of LEMP-L2AP / LEMP-BLSH (the L2AP index
+bakes in the local threshold of the query that built it; the BLSH signature
+filter is threshold-free).  When the
 :class:`~repro.engine.facade.RetrievalEngine` splits a workload into chunks,
 both side effects used to be paid once *per chunk*, multiplying setup cost by
 the batch count.
@@ -20,10 +21,12 @@ artifact:
   store (lengths and directions) plus an *epoch* counter that ``partial_fit``
   / ``remove`` / ``load`` bump for exactly the rebuilt buckets.  Untouched
   buckets keep their entries across index mutations.
-* **Threshold-derived index reuse** (L2AP index reduction, BLSH minimum-match
-  base) is governed by the lower-bound rule enforced in the retrievers
-  themselves: an index built for threshold ``theta_b`` may serve any query
-  whose local threshold is at least ``theta_b``.  The cache records build /
+* **Per-bucket index reuse**: the L2AP reduced index is governed by the
+  lower-bound rule enforced in the retriever itself — an index built for
+  threshold ``theta_b`` may serve any query whose local threshold is at
+  least ``theta_b`` — while the BLSH signature filter carries no threshold
+  state (its minimum-match base is a per-call pure function of the query's
+  own ``theta_b``) and is reused unconditionally.  The cache records build /
   reuse counters so the saving is observable.
 
 Reuse is exactness-safe by construction: tuned parameters only change the

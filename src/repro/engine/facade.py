@@ -24,6 +24,14 @@ the remaining chunks run on per-shard
 merged back in shard order.  Results are concatenated in query order and
 are bit-identical to serial execution (see
 :attr:`~repro.core.api.Retriever.supports_parallel_queries`).
+
+Calls too small for chunk sharding — a single batch, or so few batches that
+no worker would get one — are instead routed to **probe shards** when the
+retriever supports them (:attr:`~repro.core.api.Retriever.supports_probe_sharding`):
+the retriever splits the probe itself (LEMP cuts the bucket range for
+Above-θ, the query rows for Row-Top-k) across the same engine pool, with a
+deterministic merge that stays byte-identical to serial.  This is what cuts
+single-query latency, the case chunk sharding cannot touch.
 """
 
 from __future__ import annotations
@@ -68,6 +76,12 @@ class EngineCall:
     #: the engine's setting, a single-batch call, or a retriever that does
     #: not support parallel queries).
     workers: int = 1
+    #: Probe shards each batch of the call was *asked* to split into
+    #: (1 = unsharded).  Greater than 1 only when the call was too small for
+    #: chunk sharding (``workers`` stays 1 then) and the retriever supports
+    #: probe sharding; the retriever may still execute fewer shards when the
+    #: probe has too little to split (e.g. a one-row Row-Top-k batch).
+    probe_shards: int = 1
 
 
 class RetrievalEngine:
@@ -80,17 +94,26 @@ class RetrievalEngine:
         :func:`repro.engine.registry.create_retriever` (``"lemp:LI"``,
         ``"naive"``, …) or an already-constructed retriever instance.
     workers:
-        Number of threads the chunks of one call are sharded across
-        (default 1 = serial).  With ``workers > 1`` the first chunk runs
-        serially (warming the shared tuning cache), the rest run
-        concurrently on :meth:`~repro.core.api.Retriever.worker_view`
-        clones, and results/statistics are merged deterministically in
-        query order — bit-identical to a serial run.  The attribute is
-        plain and may be reassigned between calls to A/B parallelism.
-        Retrievers that do not declare
-        :attr:`~repro.core.api.Retriever.supports_parallel_queries`
-        (or whose query path is order-dependent, like the approximate
-        LEMP-BLSH) are transparently executed serially.
+        Number of threads the work of one call is sharded across
+        (default 1 = serial).  With ``workers > 1`` a multi-chunk call
+        runs its first chunk serially (warming the shared tuning cache)
+        and the rest concurrently on
+        :meth:`~repro.core.api.Retriever.worker_view` clones, with
+        results/statistics merged deterministically in query order —
+        bit-identical to a serial run.  Calls with too few chunks to
+        shard fall back to *probe shards* inside each batch when the
+        retriever supports them (every LEMP variant does, including
+        LEMP-BLSH: its minimum-match base is a pure per-(query, bucket)
+        function of the local threshold, so sharded execution reproduces
+        the serial probe byte for byte; the base used to ratchet across
+        queries in processing order, which forced a serial fallback
+        here).  Retrievers that support neither axis — no
+        :attr:`~repro.core.api.Retriever.supports_parallel_queries` /
+        ``worker_view`` and no
+        :attr:`~repro.core.api.Retriever.supports_probe_sharding`, e.g.
+        the clustered extension — are transparently executed serially.
+        The attribute is plain and may be reassigned between calls to
+        A/B parallelism.
     **kwargs:
         Constructor arguments forwarded when ``retriever`` is a spec string
         (ignored otherwise; passing them with an instance is an error).
@@ -216,6 +239,26 @@ class RetrievalEngine:
             return 1
         return min(self.workers, num_batches - 1)
 
+    def _effective_probe_shards(self, num_batches: int) -> int:
+        """Probe shards each batch of a call with ``num_batches`` chunks gets.
+
+        1 (unsharded) unless the engine has spare workers that chunk
+        sharding cannot use — a single-batch call, or any call whose
+        :meth:`_effective_workers` degenerates to serial — and the retriever
+        implements probe sharding
+        (:attr:`~repro.core.api.Retriever.supports_probe_sharding`).  The
+        two sharding axes are never combined: a call is either chunk-sharded
+        across worker views or probe-sharded inside each (serially executed)
+        batch.
+        """
+        if self.workers <= 1 or num_batches < 1:
+            return 1
+        if self._effective_workers(num_batches) > 1:
+            return 1
+        if not getattr(self.retriever, "supports_probe_sharding", False):
+            return 1
+        return self.workers
+
     def _solve_batches(self, batches: list, solve):
         """Yield ``(row_offset, result)`` per batch, in query order.
 
@@ -231,8 +274,17 @@ class RetrievalEngine:
         """
         workers = self._effective_workers(len(batches))
         if workers <= 1:
-            for start, block in batches:
-                yield start, solve(self.retriever, block)
+            probe_shards = self._effective_probe_shards(len(batches))
+            if probe_shards > 1:
+                # The call is too small for chunk sharding; parallelise each
+                # batch from the inside instead, on the same engine pool.
+                pool = self._executor(self.workers)
+                for start, block in batches:
+                    yield start, solve(self.retriever, block,
+                                       probe_shards=probe_shards, executor=pool)
+            else:
+                for start, block in batches:
+                    yield start, solve(self.retriever, block)
             return
 
         first_start, first_block = batches[0]
@@ -292,8 +344,8 @@ class RetrievalEngine:
         require_positive(theta, "theta")
         _require_method(self.retriever, "above_theta")
 
-        def solve(retriever, block):
-            return retriever.above_theta(block, theta)
+        def solve(retriever, block, **probe_kwargs):
+            return retriever.above_theta(block, theta, **probe_kwargs)
 
         yield from self._solve_batches(list(self._batches(queries, batch_size)), solve)
 
@@ -340,8 +392,8 @@ class RetrievalEngine:
         require_positive_int(k, "k")
         _require_method(self.retriever, "row_top_k")
 
-        def solve(retriever, block):
-            return retriever.row_top_k(block, k)
+        def solve(retriever, block, **probe_kwargs):
+            return retriever.row_top_k(block, k, **probe_kwargs)
 
         yield from self._solve_batches(list(self._batches(queries, batch_size)), solve)
 
@@ -372,7 +424,8 @@ class RetrievalEngine:
             EngineCall(problem, parameter, int(num_queries), num_batches, seconds, num_results,
                        tuning_cache_hits=hits_after - hits_before,
                        tuning_cache_misses=misses_after - misses_before,
-                       workers=self._effective_workers(num_batches))
+                       workers=self._effective_workers(num_batches),
+                       probe_shards=self._effective_probe_shards(num_batches))
         )
 
     # ------------------------------------------------------------ persistence

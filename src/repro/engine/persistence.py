@@ -20,14 +20,30 @@ exportable state.  Either way the loaded engine answers ``row_top_k`` /
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 from repro.exceptions import NotPreparedError, PersistenceError
 
-#: On-disk format version; bump on incompatible layout changes.
-FORMAT_VERSION = 1
+#: On-disk format version; bump on incompatible layout or semantics changes.
+#: Version history:
+#:
+#: 1. initial layout (ratchet-era LEMP-BLSH: the minimum-match base baked the
+#:    smallest local threshold seen into the bucket, in processing order);
+#: 2. same layout, order-independent BLSH base semantics — the base is a pure
+#:    per-(query, bucket) function of the local threshold, recorded in
+#:    ``meta["blsh_base"]``.  Version-1 indexes still load (the filter was
+#:    never serialised), but a version-1 LEMP-BLSH index answers queries with
+#:    the new order-free base, so a deprecation note is emitted.
+FORMAT_VERSION = 2
+
+#: Format versions :func:`load_engine` accepts.
+SUPPORTED_FORMATS = (1, 2)
+
+#: ``meta["blsh_base"]`` marker for the order-independent base semantics.
+BLSH_BASE_SEMANTICS = "per-query-theta-b"
 
 _META_FILE = "meta.json"
 _INDEX_FILE = "index.npz"
@@ -85,6 +101,8 @@ def save_engine(engine, path) -> None:
         "has_state": state is not None,
         "workers": int(engine.workers),
     }
+    if _is_blsh_retriever(engine.retriever):
+        meta["blsh_base"] = BLSH_BASE_SEMANTICS
     cache = getattr(engine.retriever, "tuning_cache", None)
     if cache is not None and state is not None:
         # Tuning entries are keyed by content fingerprints whose per-bucket
@@ -112,10 +130,10 @@ def load_engine(path):
         meta = json.loads(meta_path.read_text())
     except json.JSONDecodeError as error:
         raise PersistenceError(f"corrupt index metadata in {meta_path}: {error}") from error
-    if meta.get("format") != FORMAT_VERSION:
+    if meta.get("format") not in SUPPORTED_FORMATS:
         raise PersistenceError(
             f"saved index has format {meta.get('format')!r}, "
-            f"this library reads format {FORMAT_VERSION}"
+            f"this library reads formats {SUPPORTED_FORMATS}"
         )
 
     with np.load(index_path) as data:
@@ -129,6 +147,23 @@ def load_engine(path):
     engine = RetrievalEngine(
         meta["spec"], workers=int(meta.get("workers", 1)), **meta.get("kwargs", {})
     )
+    if _is_blsh_retriever(engine.retriever) and meta.get("blsh_base") != BLSH_BASE_SEMANTICS:
+        # A ratchet-era LEMP-BLSH index: the saved index itself is fine (the
+        # signature filter was never serialised), but queries now run with
+        # the order-independent per-(query, bucket) base, so approximate
+        # results may differ from what the saving library returned — within
+        # the documented false-negative budget either way.  FutureWarning is
+        # shown by default, unlike DeprecationWarning, and this note targets
+        # end users loading old indexes.
+        warnings.warn(
+            "loading a LEMP-BLSH index saved before the order-independent "
+            "minimum-match base (format 1): the old processing-order ratchet "
+            "state is ignored and queries use the per-(query, bucket) base; "
+            "approximate results may differ from the saving library's within "
+            "the documented false-negative rate. Re-save to silence this.",
+            FutureWarning,
+            stacklevel=2,
+        )
     if state and meta.get("has_state", False):
         engine.retriever.restore_index(probes, state)
         cache = getattr(engine.retriever, "tuning_cache", None)
@@ -140,6 +175,16 @@ def load_engine(path):
     else:
         raise PersistenceError(f"corrupt index in {index_path}: neither state nor probes stored")
     return engine
+
+
+def _is_blsh_retriever(retriever) -> bool:
+    """Whether a retriever is the approximate LEMP-BLSH variant.
+
+    Checked on the constructed retriever, not the spec string, so every
+    accepted spelling (``"lemp:BLSH"``, the legacy ``"LEMP-BLSH"`` alias,
+    ``algorithm="BLSH"`` kwargs) is recognised.
+    """
+    return getattr(retriever, "algorithm", None) == "BLSH"
 
 
 def _overrides_restore(retriever) -> bool:

@@ -1,22 +1,39 @@
 """BayesLSH-Lite style candidate pruning (paper reference [19]).
 
 BayesLSH-Lite compares LSH signatures of a candidate pair and discards the
-pair if the number of matching bits falls below a precomputed minimum ``m*``.
-``m*`` is chosen so that a pair whose true cosine similarity is *at least* the
+pair if the number of matching bits falls below a minimum ``m*``.  ``m*`` is
+chosen so that a pair whose true cosine similarity is *at least* the
 similarity threshold is discarded with probability at most the configured
-false-negative rate (0.03 in the paper).  As in the paper, the threshold used
-to precompute ``m*`` is the smallest local threshold the bucket will ever see,
-which limits the filter's pruning power — exactly the behaviour the evaluation
-observes for LEMP-BLSH.
+false-negative rate (0.03 in the paper).
+
+``m*`` is a pure function of ``(num_bits, threshold, false_negative_rate)``
+and is computed per comparison from the caller's own threshold — the filter
+carries no mutable threshold state, which makes the pruning decision for a
+(query, candidate set, threshold) triple independent of what was filtered
+before it (the order-independence contract of LEMP-BLSH; see
+:mod:`repro.core.retrievers.blsh`).  The per-pair false-negative guarantee is
+unchanged: each comparison uses the quantile at its *own* threshold.  The
+binomial quantile behind ``m*`` is memoised, so per-pair recomputation costs
+one dict lookup on the hot path.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 from scipy import stats
 
 from repro.similarity.lsh import RandomProjectionSignatures, collision_probability
 from repro.utils.validation import require_positive_int
+
+
+@lru_cache(maxsize=65536)
+def _binomial_quantile(num_bits: int, probability: float, false_negative_rate: float) -> int:
+    quantile = stats.binom.ppf(false_negative_rate, num_bits, probability)
+    if not np.isfinite(quantile):
+        return 0
+    return int(max(0, quantile))
 
 
 def minimum_matches(num_bits: int, cosine_threshold: float, false_negative_rate: float) -> int:
@@ -33,10 +50,7 @@ def minimum_matches(num_bits: int, cosine_threshold: float, false_negative_rate:
     if cosine_threshold <= -1.0:
         return 0
     probability = float(collision_probability(min(cosine_threshold, 1.0)))
-    quantile = stats.binom.ppf(false_negative_rate, num_bits, probability)
-    if not np.isfinite(quantile):
-        return 0
-    return int(max(0, quantile))
+    return _binomial_quantile(int(num_bits), probability, float(false_negative_rate))
 
 
 class BayesLshFilter:

@@ -1,0 +1,510 @@
+"""Determinism/equivalence harness for probe-side sharding and order-free BLSH.
+
+This suite locks down the two contracts introduced together:
+
+* **Probe-shard equivalence** — a probe split into any number of shards
+  (``Lemp.above_theta(..., probe_shards=N)`` cuts bucket ranges,
+  ``row_top_k`` cuts query rows) returns byte-identical results *and* equal
+  candidate / inner-product counters compared to the serial probe, for every
+  algorithm, both solvers, both verification kernels, on warm engines, and
+  after ``partial_fit`` / ``remove`` / ``save`` / ``load`` round trips.
+* **BLSH order-independence** — the approximate LEMP-BLSH filter's
+  minimum-match base is a pure function of (query, bucket, theta_b), so its
+  result set does not depend on the bucket visitation order (exercised via
+  the test-only ``Lemp._probe_bucket_order`` hook) and its recall stays
+  pinned to the committed pre-change baseline in
+  ``tests/data/blsh_recall_baseline.json``.
+
+The concurrency stress tests (marked ``slow``) scramble shard *completion*
+order with injected delays and prove the merge depends only on the shard
+plan.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Lemp, RetrievalEngine
+from repro.core.kernels import use_kernel
+from repro.core.lemp import plan_shard_ranges
+from repro.datasets.synthetic import synthetic_factors
+from repro.eval.recall import theta_for_result_count
+from tests.conftest import make_factors, pick_theta
+
+#: Algorithms covered by the equivalence matrix (the tuned mixes plus the
+#: threshold-index variants plus the approximate BLSH).
+ALGORITHMS = ("L", "I", "LI", "L2AP", "BLSH")
+
+#: Shard counts every property is checked against (1 = the planner's
+#: degenerate case; 7 exceeds the bucket/row count granularity comfortably).
+SHARD_COUNTS = (1, 2, 3, 7)
+
+KERNELS = ("blocked", "einsum")
+
+#: Integer RunStats fields that must match exactly between serial and
+#: sharded probes of the same warm retriever.
+COUNTERS = ("candidates", "inner_products", "buckets_examined", "buckets_pruned",
+            "results", "num_queries")
+
+#: Absolute tolerance for the LEMP-BLSH recall regression pin.  The committed
+#: baseline was measured on the pre-change ratcheting implementation, whose
+#: ratcheted-down base made the filter slightly *more* conservative; the
+#: order-free per-(query, bucket) base may prune marginally more, but must
+#: stay within this budget of the old recall.
+BLSH_RECALL_TOLERANCE = 0.01
+
+QUERIES = make_factors(60, rank=10, length_cov=1.0, seed=21)
+PROBES = make_factors(240, rank=10, length_cov=1.0, seed=22)
+THETA = pick_theta(QUERIES, PROBES, 120)
+K = 5
+
+
+def snapshot(stats) -> dict[str, int]:
+    return {name: getattr(stats, name) for name in COUNTERS}
+
+
+def delta(stats, before: dict[str, int]) -> dict[str, int]:
+    return {name: getattr(stats, name) - before[name] for name in COUNTERS}
+
+
+def probe(lemp, problem: str, parameter, **kwargs):
+    if problem == "above_theta":
+        return lemp.above_theta(QUERIES, parameter, **kwargs)
+    return lemp.row_top_k(QUERIES, parameter, **kwargs)
+
+
+def result_arrays(result) -> tuple[np.ndarray, ...]:
+    """The result's raw arrays, for byte-level comparison."""
+    if hasattr(result, "indices"):
+        return result.indices, result.scores
+    return result.query_ids, result.probe_ids, result.scores
+
+
+def assert_bytes_equal(expected, observed, context=""):
+    for index, (left, right) in enumerate(zip(result_arrays(expected), result_arrays(observed))):
+        np.testing.assert_array_equal(left, right, err_msg=f"{context} array {index}")
+
+
+#: Lazily built warm retrievers, keyed by (algorithm, kernel).  Warm means
+#: both problems ran once serially, so tuning is cached and every lazy
+#: per-bucket index exists; from then on all counters are deterministic.
+_WARM: dict = {}
+
+
+def warm_lemp(algorithm: str, kernel: str) -> Lemp:
+    key = (algorithm, kernel)
+    if key not in _WARM:
+        with use_kernel(kernel):
+            lemp = Lemp(algorithm=algorithm, seed=0).fit(PROBES)
+            lemp.above_theta(QUERIES, THETA)
+            lemp.row_top_k(QUERIES, K)
+        _WARM[key] = lemp
+    return _WARM[key]
+
+
+class TestShardPlanner:
+    def test_ranges_partition_the_units(self):
+        rng = np.random.default_rng(3)
+        for count in (1, 2, 5, 13, 64):
+            weights = rng.integers(0, 50, size=count)
+            for shards in (1, 2, 3, 7, 64, 100):
+                ranges = plan_shard_ranges(weights, shards)
+                assert ranges[0][0] == 0 and ranges[-1][1] == count
+                for (_, end), (start, _) in zip(ranges[:-1], ranges[1:]):
+                    assert end == start
+                assert all(end > start for start, end in ranges)
+                assert len(ranges) <= min(shards, count)
+
+    def test_plan_is_deterministic(self):
+        weights = [5, 1, 3, 8, 2, 2, 9]
+        assert plan_shard_ranges(weights, 3) == plan_shard_ranges(weights, 3)
+
+    def test_balanced_by_weight(self):
+        # One heavy unit up front: it gets its own shard.
+        assert plan_shard_ranges([100, 1, 1, 1], 2) == [(0, 1), (1, 4)]
+
+    def test_degenerate_inputs(self):
+        assert plan_shard_ranges([], 4) == []
+        assert plan_shard_ranges([7], 4) == [(0, 1)]
+        assert plan_shard_ranges([0, 0, 0, 0], 2) == [(0, 2), (2, 4)]
+
+
+class TestShardedProbeEquivalence:
+    """Serial vs sharded probes: byte-identical results, equal counters."""
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("problem,parameter", [("above_theta", THETA), ("row_top_k", K)])
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matrix(self, algorithm, problem, parameter, kernel):
+        lemp = warm_lemp(algorithm, kernel)
+        with use_kernel(kernel):
+            before = snapshot(lemp.stats)
+            expected = probe(lemp, problem, parameter)
+            serial_delta = delta(lemp.stats, before)
+            for shards in SHARD_COUNTS:
+                before = snapshot(lemp.stats)
+                observed = probe(lemp, problem, parameter, probe_shards=shards)
+                context = f"{algorithm}/{problem}/{kernel}/shards={shards}"
+                assert_bytes_equal(expected, observed, context)
+                assert delta(lemp.stats, before) == serial_delta, context
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        algorithm=st.sampled_from(ALGORITHMS),
+        problem=st.sampled_from(("above_theta", "row_top_k")),
+        shards=st.sampled_from(SHARD_COUNTS),
+        k=st.integers(min_value=1, max_value=9),
+        theta_count=st.integers(min_value=40, max_value=400),
+    )
+    def test_property(self, algorithm, problem, shards, k, theta_count):
+        """Random (parameter, shard count) draws on shared warm retrievers."""
+        parameter = pick_theta(QUERIES, PROBES, theta_count) if problem == "above_theta" else k
+        lemp = warm_lemp(algorithm, "blocked")
+        expected = probe(lemp, problem, parameter)  # may tune this parameter
+        before = snapshot(lemp.stats)
+        rerun = probe(lemp, problem, parameter)
+        serial_delta = delta(lemp.stats, before)
+        assert_bytes_equal(expected, rerun)
+        before = snapshot(lemp.stats)
+        observed = probe(lemp, problem, parameter, probe_shards=shards)
+        assert_bytes_equal(expected, observed, f"{algorithm}/{problem}/shards={shards}")
+        assert delta(lemp.stats, before) == serial_delta
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_after_update_and_reload_round_trip(self, algorithm, tmp_path):
+        """Sharding stays equivalent after partial_fit + remove + save/load."""
+        extra = make_factors(30, rank=10, length_cov=1.0, seed=23)
+        engine = RetrievalEngine(f"lemp:{algorithm}", seed=0).fit(PROBES)
+        engine.partial_fit(extra)
+        engine.remove([3, 17, 40, 111])
+        engine.save(tmp_path / "idx")
+        lemp = RetrievalEngine.load(tmp_path / "idx").retriever
+        lemp.above_theta(QUERIES, THETA)  # warm the reloaded index
+        lemp.row_top_k(QUERIES, K)
+        for problem, parameter in (("above_theta", THETA), ("row_top_k", K)):
+            before = snapshot(lemp.stats)
+            expected = probe(lemp, problem, parameter)
+            serial_delta = delta(lemp.stats, before)
+            for shards in SHARD_COUNTS:
+                before = snapshot(lemp.stats)
+                observed = probe(lemp, problem, parameter, probe_shards=shards)
+                context = f"{algorithm}/{problem}/reloaded/shards={shards}"
+                assert_bytes_equal(expected, observed, context)
+                assert delta(lemp.stats, before) == serial_delta, context
+
+    def test_supports_probe_sharding_and_parallel_queries_everywhere(self):
+        for algorithm in ("L", "C", "I", "TA", "TREE", "L2AP", "BLSH", "LC", "LI"):
+            lemp = Lemp(algorithm=algorithm)
+            assert lemp.supports_probe_sharding, algorithm
+            assert lemp.supports_parallel_queries, algorithm
+
+    def test_oversharded_single_bucket_range(self):
+        """More shards than buckets/rows degrades gracefully to fewer shards."""
+        lemp = warm_lemp("LI", "blocked")
+        expected = probe(lemp, "above_theta", THETA)
+        observed = lemp.above_theta(QUERIES, THETA, probe_shards=1000)
+        assert_bytes_equal(expected, observed)
+
+
+class TestBlshOrderIndependence:
+    """The order-free base: any bucket visitation order, same results."""
+
+    def test_result_sets_invariant_under_permuted_bucket_orders(self):
+        lemp = warm_lemp("BLSH", "blocked")
+        reference = probe(lemp, "above_theta", THETA)
+        before = snapshot(lemp.stats)
+        probe(lemp, "above_theta", THETA)
+        serial_delta = delta(lemp.stats, before)
+        rng = np.random.default_rng(9)
+        try:
+            for _ in range(6):
+                lemp._probe_bucket_order = rng.permutation(lemp.num_buckets)
+                before = snapshot(lemp.stats)
+                permuted = probe(lemp, "above_theta", THETA)
+                # The output *ordering* follows the visitation order; the
+                # retrieved set — and every per-(bucket, query) counter —
+                # must not.
+                assert permuted.to_set() == reference.to_set()
+                assert sorted(permuted.scores.tolist()) == sorted(reference.scores.tolist())
+                assert delta(lemp.stats, before) == serial_delta
+        finally:
+            lemp._probe_bucket_order = None
+
+    def test_sharded_permuted_probe_matches_serial_permuted_probe(self):
+        """Sharding composes with the hook: shards partition the permuted list."""
+        lemp = warm_lemp("BLSH", "blocked")
+        rng = np.random.default_rng(11)
+        try:
+            lemp._probe_bucket_order = rng.permutation(lemp.num_buckets)
+            expected = probe(lemp, "above_theta", THETA)
+            for shards in SHARD_COUNTS:
+                observed = probe(lemp, "above_theta", THETA, probe_shards=shards)
+                assert_bytes_equal(expected, observed, f"permuted/shards={shards}")
+        finally:
+            lemp._probe_bucket_order = None
+
+    def test_exact_algorithms_also_order_invariant(self):
+        """The hook itself is algorithm-agnostic; exact sets never move."""
+        for algorithm in ("LI", "L2AP"):
+            lemp = warm_lemp(algorithm, "blocked")
+            reference = probe(lemp, "above_theta", THETA)
+            try:
+                lemp._probe_bucket_order = np.arange(lemp.num_buckets)[::-1]
+                reversed_order = probe(lemp, "above_theta", THETA)
+                assert reversed_order.to_set() == reference.to_set(), algorithm
+            finally:
+                lemp._probe_bucket_order = None
+
+    def test_blsh_independent_engines_agree(self):
+        """Two fresh engines (fit + probe) return identical BLSH results.
+
+        Under the old ratchet this held only because processing order was
+        fixed; now it holds by construction, including with sharding on one
+        side only.
+        """
+        first = Lemp(algorithm="BLSH", seed=0).fit(PROBES)
+        second = Lemp(algorithm="BLSH", seed=0).fit(PROBES)
+        expected = first.above_theta(QUERIES, THETA)
+        observed = second.above_theta(QUERIES, THETA, probe_shards=3)
+        assert_bytes_equal(expected, observed)
+
+    def test_recall_pinned_to_committed_baseline(self):
+        """LEMP-BLSH recall stays within tolerance of the pre-change ratchet.
+
+        The baseline JSON was measured on the ratcheting implementation
+        immediately before the order-free base landed (see
+        ``tools/measure_blsh_recall.py``).
+        """
+        baseline = json.loads(
+            (Path(__file__).parent / "data" / "blsh_recall_baseline.json").read_text()
+        )
+        config = baseline["config"]
+        probes = synthetic_factors(
+            config["num_probes"], rank=config["rank"],
+            length_cov=config["length_cov"], seed=config["probe_seed"],
+        )
+        queries = synthetic_factors(
+            config["num_queries"], rank=config["rank"],
+            length_cov=config["length_cov"], seed=config["query_seed"],
+        )
+        theta = theta_for_result_count(queries, probes, config["result_count"])
+        assert theta == pytest.approx(baseline["theta"], abs=1e-12)
+        product = queries @ probes.T
+
+        blsh = Lemp(algorithm="BLSH", seed=config["lemp_seed"]).fit(probes)
+        exact = set(zip(*(arr.tolist() for arr in np.nonzero(product >= theta))))
+        above_recall = len(blsh.above_theta(queries, theta).to_set() & exact) / len(exact)
+        assert above_recall >= baseline["above_theta_recall"] - BLSH_RECALL_TOLERANCE
+
+        k = config["k"]
+        top = blsh.row_top_k(queries, k)
+        exact_rows = np.argsort(-product, axis=1, kind="stable")[:, :k]
+        overlap = sum(
+            len(set(top.indices[row].tolist()) & set(exact_rows[row].tolist()))
+            for row in range(queries.shape[0])
+        )
+        topk_recall = overlap / (queries.shape[0] * k)
+        assert topk_recall >= baseline["row_top_k_recall"] - BLSH_RECALL_TOLERANCE
+
+
+class TestEngineRouting:
+    """The facade picks the sharding axis and records it on EngineCall."""
+
+    def test_single_batch_call_probe_shards(self):
+        engine = RetrievalEngine("lemp:LI", seed=0, workers=3).fit(PROBES)
+        reference = RetrievalEngine("lemp:LI", seed=0).fit(PROBES)
+        expected = reference.above_theta(QUERIES, THETA)
+        observed = engine.above_theta(QUERIES, THETA)  # one default-size batch
+        call = engine.history[-1]
+        assert call.workers == 1 and call.probe_shards == 3
+        # Independently tuned engines still agree bit for bit on results.
+        assert_bytes_equal(expected, observed)
+
+    def test_multi_batch_call_chunk_shards_instead(self):
+        engine = RetrievalEngine("lemp:LI", seed=0, workers=2).fit(PROBES)
+        engine.row_top_k(QUERIES, K, batch_size=10)
+        call = engine.history[-1]
+        assert call.workers == 2 and call.probe_shards == 1
+
+    def test_two_batch_call_cannot_chunk_shard_probe_shards(self):
+        # Two batches leave one batch for min(workers, num_batches - 1) = 1
+        # worker: chunk sharding degenerates, probe shards take over.
+        engine = RetrievalEngine("lemp:LI", seed=0, workers=4).fit(PROBES)
+        engine.row_top_k(QUERIES, K, batch_size=30)
+        call = engine.history[-1]
+        assert call.num_batches == 2
+        assert call.workers == 1 and call.probe_shards == 4
+
+    def test_serial_engine_never_probe_shards(self):
+        engine = RetrievalEngine("lemp:LI", seed=0).fit(PROBES)
+        engine.above_theta(QUERIES, THETA)
+        call = engine.history[-1]
+        assert call.workers == 1 and call.probe_shards == 1
+
+    def test_retriever_without_probe_sharding_stays_serial(self):
+        engine = RetrievalEngine("naive", workers=4).fit(PROBES)
+        engine.row_top_k(QUERIES, K)  # single batch, no probe shard support
+        call = engine.history[-1]
+        assert call.workers == 1 and call.probe_shards == 1
+
+    def test_blsh_single_query_latency_path(self):
+        """The motivating case: one expensive query, sharded from the inside."""
+        engine = RetrievalEngine("lemp:BLSH", seed=0, workers=4).fit(PROBES)
+        reference = RetrievalEngine("lemp:BLSH", seed=0).fit(PROBES)
+        single = QUERIES[:1]
+        expected = reference.above_theta(single, THETA)
+        observed = engine.above_theta(single, THETA)
+        assert engine.history[-1].probe_shards == 4
+        assert_bytes_equal(expected, observed)
+
+
+class TestPersistenceFormat:
+    """Format-version bump carrying the new BLSH base semantics."""
+
+    def test_saved_meta_records_format_2_and_blsh_semantics(self, tmp_path):
+        RetrievalEngine("lemp:BLSH", seed=0).fit(PROBES).save(tmp_path / "blsh")
+        meta = json.loads((tmp_path / "blsh" / "meta.json").read_text())
+        assert meta["format"] == 2
+        assert meta["blsh_base"] == "per-query-theta-b"
+        # The legacy paper-name alias must be recognised as BLSH too.
+        RetrievalEngine("LEMP-BLSH", seed=0).fit(PROBES).save(tmp_path / "alias")
+        meta = json.loads((tmp_path / "alias" / "meta.json").read_text())
+        assert meta["blsh_base"] == "per-query-theta-b"
+        RetrievalEngine("lemp:LI", seed=0).fit(PROBES).save(tmp_path / "li")
+        meta = json.loads((tmp_path / "li" / "meta.json").read_text())
+        assert meta["format"] == 2
+        assert "blsh_base" not in meta
+
+    @pytest.mark.parametrize("spec", ["lemp:BLSH", "LEMP-BLSH"])
+    def test_ratchet_era_blsh_index_loads_with_deprecation_note(self, spec, tmp_path):
+        engine = RetrievalEngine(spec, seed=0).fit(PROBES)
+        expected = engine.above_theta(QUERIES, THETA)
+        engine.save(tmp_path / "idx")
+        meta_path = tmp_path / "idx" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format"] = 1
+        del meta["blsh_base"]
+        meta_path.write_text(json.dumps(meta))
+        # FutureWarning, not DeprecationWarning: the note targets end users
+        # loading old indexes, and DeprecationWarning is hidden by default
+        # outside __main__/pytest.
+        with pytest.warns(FutureWarning, match="order-independent"):
+            loaded = RetrievalEngine.load(tmp_path / "idx")
+        assert_bytes_equal(expected, loaded.above_theta(QUERIES, THETA))
+
+    def test_format_1_exact_index_loads_silently(self, tmp_path, recwarn):
+        engine = RetrievalEngine("lemp:LI", seed=0).fit(PROBES)
+        engine.save(tmp_path / "idx")
+        meta_path = tmp_path / "idx" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format"] = 1
+        meta_path.write_text(json.dumps(meta))
+        RetrievalEngine.load(tmp_path / "idx")
+        assert not [
+            w for w in recwarn
+            if issubclass(w.category, (DeprecationWarning, FutureWarning))
+        ]
+
+    def test_unknown_format_rejected(self, tmp_path):
+        from repro.exceptions import PersistenceError
+
+        engine = RetrievalEngine("lemp:LI", seed=0).fit(PROBES)
+        engine.save(tmp_path / "idx")
+        meta_path = tmp_path / "idx" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(PersistenceError):
+            RetrievalEngine.load(tmp_path / "idx")
+
+
+class CompletionScrambler:
+    """Executor wrapper whose submissions complete in *reverse* order.
+
+    The i-th submission of a burst sleeps ``(burst - 1 - i) * step`` seconds
+    before running, so the first-planned shard finishes last.  Records the
+    completion order so tests can assert the scramble actually happened.
+
+    Note: ``probe_shards=N`` submits ``N - 1`` tasks — the first shard runs
+    inline on the calling thread (see ``Lemp._run_probe_shards``) and never
+    reaches the executor.
+    """
+
+    def __init__(self, burst: int, step: float = 0.08) -> None:
+        self._pool = ThreadPoolExecutor(max_workers=burst)
+        self._burst = burst
+        self._step = step
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self.completion_order: list[int] = []
+
+    def submit(self, fn, *args, **kwargs):
+        with self._lock:
+            index = self._submitted
+            self._submitted += 1
+
+        def delayed():
+            time.sleep((self._burst - 1 - (index % self._burst)) * self._step)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                with self._lock:
+                    self.completion_order.append(index)
+
+        return self._pool.submit(delayed)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+@pytest.mark.slow
+class TestCompletionOrderIndependence:
+    """Merge order must follow the shard plan, never shard completion."""
+
+    @pytest.mark.parametrize("problem,parameter", [("above_theta", THETA), ("row_top_k", K)])
+    @pytest.mark.parametrize("algorithm", ("LI", "BLSH"))
+    def test_retriever_merge_survives_reversed_completion(
+        self, algorithm, problem, parameter
+    ):
+        lemp = warm_lemp(algorithm, "blocked")
+        before = snapshot(lemp.stats)
+        expected = probe(lemp, problem, parameter)
+        serial_delta = delta(lemp.stats, before)
+        scrambler = CompletionScrambler(burst=3)  # 4 shards - 1 inline
+        try:
+            before = snapshot(lemp.stats)
+            observed = probe(lemp, problem, parameter, probe_shards=4,
+                             executor=scrambler)
+            assert_bytes_equal(expected, observed, f"{algorithm}/{problem}/scrambled")
+            assert delta(lemp.stats, before) == serial_delta
+            burst = scrambler.completion_order[:3]
+            assert len(burst) == 3 and burst == sorted(burst, reverse=True), (
+                "delay injection failed to reverse completion order; the "
+                "determinism assertion above did not actually exercise "
+                "out-of-order completion"
+            )
+        finally:
+            scrambler.shutdown()
+
+    def test_engine_probe_shard_merge_survives_reversed_completion(self):
+        engine = RetrievalEngine("lemp:LI", seed=0, workers=4).fit(PROBES)
+        expected = engine.above_theta(QUERIES, THETA)  # warm, probe-sharded
+        scrambler = CompletionScrambler(burst=3)  # 4 shards - 1 inline
+        engine._executor = lambda workers: scrambler  # monkeypatch the pool
+        try:
+            observed = engine.above_theta(QUERIES, THETA)
+            assert engine.history[-1].probe_shards == 4
+            assert_bytes_equal(expected, observed, "engine/scrambled")
+            burst = scrambler.completion_order[:3]
+            assert len(burst) == 3 and burst == sorted(burst, reverse=True)
+        finally:
+            scrambler.shutdown()

@@ -1,0 +1,85 @@
+"""Measure LEMP-BLSH recall on the synthetic regression dataset.
+
+Writes ``tests/data/blsh_recall_baseline.json``.  The committed baseline was
+produced by the *pre-order-free* ratcheting implementation; the regression
+test in ``tests/test_probe_sharding.py`` pins the current order-independent
+base to that reference within ``BLSH_RECALL_TOLERANCE``.  Re-running this
+script OVERWRITES the pinned reference with measurements of the current
+code — only do that deliberately, when re-baselining.
+
+Run with::
+
+    PYTHONPATH=src python tools/measure_blsh_recall.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.lemp import Lemp
+from repro.datasets.synthetic import synthetic_factors
+from repro.eval.recall import theta_for_result_count
+
+#: Dataset / workload configuration shared with tests/test_probe_sharding.py.
+CONFIG = {
+    "num_probes": 3000,
+    "num_queries": 400,
+    "rank": 32,
+    "length_cov": 0.8,
+    "probe_seed": 7,
+    "query_seed": 8,
+    "result_count": 2000,
+    "k": 10,
+    "lemp_seed": 0,
+}
+
+
+def blsh_recall(config: dict = CONFIG) -> dict:
+    """Above-θ and Row-Top-k recall of LEMP-BLSH against the exact solution."""
+    probes = synthetic_factors(
+        config["num_probes"], rank=config["rank"],
+        length_cov=config["length_cov"], seed=config["probe_seed"],
+    )
+    queries = synthetic_factors(
+        config["num_queries"], rank=config["rank"],
+        length_cov=config["length_cov"], seed=config["query_seed"],
+    )
+    theta = theta_for_result_count(queries, probes, config["result_count"])
+    product = queries @ probes.T
+
+    exact_above = set(zip(*(arr.tolist() for arr in np.nonzero(product >= theta))))
+    blsh = Lemp(algorithm="BLSH", seed=config["lemp_seed"]).fit(probes)
+    got_above = blsh.above_theta(queries, theta).to_set()
+    above_recall = len(got_above & exact_above) / len(exact_above)
+
+    k = config["k"]
+    top = blsh.row_top_k(queries, k)
+    exact_rows = np.argsort(-product, axis=1, kind="stable")[:, :k]
+    overlaps = [
+        len(set(top.indices[row].tolist()) & set(exact_rows[row].tolist()))
+        for row in range(queries.shape[0])
+    ]
+    topk_recall = float(np.mean(overlaps)) / k
+
+    return {
+        "config": config,
+        "theta": theta,
+        "above_theta_recall": round(above_recall, 6),
+        "row_top_k_recall": round(topk_recall, 6),
+    }
+
+
+def main() -> None:
+    """Measure recall and write the JSON baseline next to the test data."""
+    report = blsh_recall()
+    path = Path(__file__).resolve().parents[1] / "tests" / "data" / "blsh_recall_baseline.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()
