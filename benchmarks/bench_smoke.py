@@ -1,10 +1,11 @@
-"""CI smoke benchmark: kernel, parallel-determinism and probe-shard gates.
+"""CI smoke benchmark: kernel, parallel, probe-shard and combined-axis gates.
 
 Runs a tiny synthetic Row-Top-k / Above-θ workload through the
 :class:`~repro.engine.facade.RetrievalEngine` four ways — serial vs.
 ``workers=N``, blocked kernel vs. the einsum reference — plus a warm
-single-query sweep with probe-side sharding, and writes the timings and
-check outcomes to a JSON report (``BENCH_smoke.json``).
+single-query sweep with probe-side sharding and a warm combined-axis
+workload (chunk workers × per-chunk probe shards in one plan), and writes
+the timings and check outcomes to a JSON report (``BENCH_smoke.json``).
 
 The script exits non-zero (failing the CI ``bench-smoke`` job) when any of
 
@@ -14,7 +15,10 @@ The script exits non-zero (failing the CI ``bench-smoke`` job) when any of
 * parallel results are not byte-identical to serial ones, or the parallel
   run's cumulative counters drift from the serial run's, or
 * the probe-sharded warm single-query path drifts from serial (bytes or
-  counters) or regresses beyond ``--margin`` against the serial sweep.
+  counters) or regresses beyond ``--margin`` against the serial sweep, or
+* the combined-axis plan does not actually use both axes, its explained
+  plan differs from the recorded one, its results/counters drift from
+  serial, or the warm combined workload regresses beyond ``--margin``.
 
 Timings take the best of ``--repeats`` runs on warmed engines, which is
 robust against CI neighbours; the determinism checks are exact and
@@ -73,6 +77,11 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument(
         "--single-queries", type=int, default=30,
         help="queries of the single-query probe-shard sweep",
+    )
+    parser.add_argument(
+        "--combined-batches", type=int, default=3,
+        help="chunk count of the combined-axis gate (workers must exceed "
+             "batches - 1 so the planner has spare threads for probe shards)",
     )
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
     parser.add_argument(
@@ -240,6 +249,74 @@ def run_smoke(args: argparse.Namespace) -> dict:
         ),
     }
 
+    # Combined-axis gate: the same warm blocked engine runs a workload whose
+    # chunk count leaves spare workers, so the planner composes both axes
+    # (e.g. 3 chunks on 4 workers -> 2 chunk workers x 2 probe shards).  The
+    # explained plan must equal the recorded one, both axes must be active,
+    # and results/counters/timing must hold against the serial run.
+    combined_batch = max(1, -(-args.queries // args.combined_batches))
+
+    def combined_workload():
+        top = engine.row_top_k(queries, args.k, batch_size=combined_batch)
+        hits = engine.above_theta(queries, args.theta, batch_size=combined_batch)
+        return top, hits
+
+    engine.workers = 1
+    combined_workload()  # warm this batch shape serially
+    timings["combined_serial"] = best_of(args.repeats, combined_workload)
+    before = counter_snapshot(engine)
+    top_serial_c, hits_serial_c = combined_workload()
+    serial_combined_deltas = counter_delta(engine, before)
+
+    engine.workers = args.workers
+    plans = [
+        engine.explain(queries, k=args.k, batch_size=combined_batch),
+        engine.explain(queries, theta=args.theta, batch_size=combined_batch),
+    ]
+    combined_workload()  # warm the pools
+    timings["combined_sharded"] = best_of(args.repeats, combined_workload)
+    before = counter_snapshot(engine)
+    top_combined, hits_combined = combined_workload()
+    combined_deltas = counter_delta(engine, before)
+    recorded = [call.plan for call in engine.history[-2:]]
+
+    combined_identical = (
+        np.array_equal(top_serial_c.indices, top_combined.indices)
+        and np.array_equal(top_serial_c.scores, top_combined.scores)
+        and np.array_equal(hits_serial_c.query_ids, hits_combined.query_ids)
+        and np.array_equal(hits_serial_c.probe_ids, hits_combined.probe_ids)
+        and np.array_equal(hits_serial_c.scores, hits_combined.scores)
+    )
+    combined_drift = {
+        name: {"serial": serial_combined_deltas[name], "combined": combined_deltas[name]}
+        for name in COUNTERS
+        if serial_combined_deltas[name] != combined_deltas[name]
+    }
+    both_axes = all(plan.workers > 1 and plan.probe_shards > 1 for plan in recorded)
+    plans_match = recorded == plans
+    combined_ratio = timings["combined_sharded"] / timings["combined_serial"]
+    checks["combined_axis_gate"] = {
+        "passed": (
+            combined_identical and not combined_drift and both_axes
+            and plans_match and combined_ratio <= args.margin
+        ),
+        "results_byte_identical": combined_identical,
+        "counter_drift": combined_drift,
+        "plan_shapes": [
+            f"{plan.workers}x{plan.probe_shards}" for plan in recorded
+        ],
+        "both_axes_active": both_axes,
+        "explained_plan_matches_recorded": plans_match,
+        "sharded_over_serial_time_ratio": round(combined_ratio, 4),
+        "margin": args.margin,
+        "detail": (
+            f"{args.combined_batches}-chunk workload on workers={args.workers} must "
+            "compose both sharding axes, match serial byte-for-byte, reproduce its "
+            "explained plan, and not regress beyond the margin"
+        ),
+    }
+    engine.workers = args.workers  # leave as configured for the report
+
     speedup = timings["serial_blocked"] / timings["parallel_blocked"]
     report = {
         "benchmark": "bench_smoke",
@@ -252,11 +329,15 @@ def run_smoke(args: argparse.Namespace) -> dict:
             "k": args.k, "theta": args.theta, "batch_size": args.batch_size,
             "probe_gate_probes": args.probe_gate_probes,
             "single_queries": len(singles), "seed": args.seed,
+            "combined_batches": args.combined_batches,
         },
         "timings_seconds": {label: round(value, 5) for label, value in timings.items()},
         "parallel_speedup_over_serial": round(speedup, 3),
         "probe_shard_speedup_over_serial": round(
             timings["single_query_serial"] / timings["single_query_probe_sharded"], 3
+        ),
+        "combined_axis_speedup_over_serial": round(
+            timings["combined_serial"] / timings["combined_sharded"], 3
         ),
         "checks": checks,
         "passed": all(check["passed"] for check in checks.values()),

@@ -42,6 +42,9 @@ from repro.core import (
     VectorStore,
 )
 from repro.engine import (
+    ExecutionPlan,
+    ExecutionPlanner,
+    PlanPolicy,
     RetrievalEngine,
     available_specs,
     create_retriever,
@@ -58,16 +61,19 @@ from repro.exceptions import (
     UnsupportedOperationError,
 )
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 __all__ = [
     "ALGORITHMS",
     "AboveThetaResult",
     "DimensionMismatchError",
+    "ExecutionPlan",
+    "ExecutionPlanner",
     "InvalidParameterError",
     "Lemp",
     "NotPreparedError",
     "PersistenceError",
+    "PlanPolicy",
     "ReproError",
     "RetrievalEngine",
     "Retriever",

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro datasets                         # list the synthetic datasets
     python -m repro topk --dataset netflix --k 10    # Row-Top-k with LEMP
     python -m repro above --dataset ie-svd --results 1000
+    python -m repro explain --dataset netflix --k 10 --workers 4
     python -m repro index --dataset netflix --spec lemp:LI --out idx/
     python -m repro tables --which table3 table4     # regenerate paper tables
 
@@ -16,7 +17,10 @@ prints the same statistics the benchmark harness records (total /
 preprocessing / tuning time and candidates per query) so the paper's
 experiments can be replayed interactively.  ``index`` builds an index once,
 persists it, and verifies the reloaded copy — the starting point for serving
-deployments.
+deployments.  ``explain`` shows the :class:`~repro.engine.planner.ExecutionPlan`
+a workload would run under — chunking, chunk workers, probe shards, merge
+order, cost estimates — without executing it (add ``--execute`` to also run
+the call and check the recorded plan matches).
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ import numpy as np
 
 from repro.datasets import DATASET_NAMES, dataset_statistics, load_dataset
 from repro.datasets.registry import SCALES
-from repro.engine import RetrievalEngine, available_specs
+from repro.engine import RetrievalEngine, available_specs, normalize_spec, spec_capabilities
 from repro.eval import (
     format_table,
     make_retriever,
@@ -96,6 +100,21 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--theta", type=float, default=None, help="explicit threshold")
     group.add_argument("--results", type=int, default=1000,
                        help="recall level: pick θ so this many entries qualify")
+
+    explain = subparsers.add_parser(
+        "explain", parents=[common],
+        help="show the execution plan for a workload without running it",
+    )
+    problem = explain.add_mutually_exclusive_group()
+    problem.add_argument("--k", type=int, default=None,
+                         help="Row-Top-k workload (default: k=10 when --theta is absent)")
+    problem.add_argument("--theta", type=float, default=None, help="Above-theta workload")
+    explain.add_argument("--workers", type=int, default=4,
+                         help="engine worker threads the plan may shard across")
+    explain.add_argument("--batch-size", type=int, default=None,
+                         help="chunk size (default: the engine default)")
+    explain.add_argument("--execute", action="store_true",
+                         help="also run the call and verify it recorded exactly this plan")
 
     index = subparsers.add_parser(
         "index", help="build a persistent index for a dataset (save, reload, verify)"
@@ -173,6 +192,37 @@ def _command_above(args, out) -> int:
     outcome = run_above_theta(retriever, dataset, theta)
     _print_outcome(outcome, out)
     return 0
+
+
+def _command_explain(args, out) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    k, theta = args.k, args.theta
+    if k is None and theta is None:
+        k = 10
+    engine = RetrievalEngine(args.algorithm, seed=args.seed, workers=args.workers)
+    engine.fit(dataset.probes)
+    plan = engine.explain(dataset.queries, theta=theta, k=k, batch_size=args.batch_size)
+
+    capabilities = spec_capabilities(args.algorithm)
+    flags = ", ".join(
+        f"{name}={'yes' if enabled else 'no'}"
+        for name, enabled in sorted(capabilities.items())
+    )
+    print(f"spec    : {normalize_spec(args.algorithm)} ({flags})", file=out)
+    print(f"workload: {dataset.name}, {dataset.queries.shape[0]} queries x "
+          f"{engine.num_probes} probes, workers={args.workers}", file=out)
+    print(plan.describe(), file=out)
+    if not args.execute:
+        return 0
+    if theta is not None:
+        engine.above_theta(dataset.queries, theta, batch_size=args.batch_size)
+    else:
+        engine.row_top_k(dataset.queries, k, batch_size=args.batch_size)
+    call = engine.history[-1]
+    matched = call.plan == plan
+    verdict = "recorded plan matches" if matched else "recorded plan DIFFERS"
+    print(f"executed: {call.seconds:.4f}s, {call.num_results} results; {verdict}", file=out)
+    return 0 if matched else 1
 
 
 def _command_index(args, out) -> int:
@@ -264,6 +314,8 @@ def main(argv=None, out=None) -> int:
             return _command_topk(args, out)
         if args.command == "above":
             return _command_above(args, out)
+        if args.command == "explain":
+            return _command_explain(args, out)
         if args.command == "index":
             return _command_index(args, out)
         return _command_tables(args, out)

@@ -11,6 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+def _summable(value) -> bool:
+    """Whether an ``extra`` value accumulates under merge (plain numbers only).
+
+    ``bool`` is an ``int`` subclass but summing flags (``True + True == 2``)
+    is never what a merged run report means, so booleans follow the
+    keep-first rule instead.
+    """
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 @dataclass
 class RunStats:
     """Counters and timings accumulated during one retrieval run."""
@@ -47,8 +57,15 @@ class RunStats:
         workers).  The count fields are integers, so the merged totals equal
         a serial run's exactly; the ``seconds`` fields are float sums whose
         reproducibility — not wall-clock equality — is what the fixed merge
-        order buys.  Numeric ``extra`` entries are summed, other values are
-        taken from the first run that set them.
+        order buys.
+
+        ``extra`` entries follow a deterministic rule: a key whose value is
+        numeric (``int``/``float``, excluding ``bool``) *on both sides* is
+        summed like the counter fields; every other key keeps the value from
+        the first run that set it — the merge target's value wins over the
+        merged-in one, and under the fixed plan-order roll-up "first" is the
+        earliest shard/batch, reproducibly.  Nothing is dropped silently: a
+        key present only in ``other`` is always adopted, whatever its type.
         """
         self.num_queries += other.num_queries
         self.candidates += other.candidates
@@ -60,10 +77,12 @@ class RunStats:
         self.tuning_seconds += other.tuning_seconds
         self.retrieval_seconds += other.retrieval_seconds
         for key, value in other.extra.items():
-            if isinstance(value, (int, float)) and isinstance(self.extra.get(key), (int, float)):
+            if key not in self.extra:
+                self.extra[key] = value
+            elif _summable(value) and _summable(self.extra[key]):
                 self.extra[key] += value
-            else:
-                self.extra.setdefault(key, value)
+            # else: keep-first — the existing (earlier in merge order) value
+            # stays, so repeated merges are order-deterministic for any type.
         return self
 
     def reset(self) -> None:

@@ -1,38 +1,58 @@
-"""Engine layer: retriever registry, batched-query facade, and persistence.
+"""Engine layer: registry, execution planner/executor, facade, persistence.
 
 This package is the serving-oriented surface over the algorithmic core:
 
 * :func:`create_retriever` / :func:`register_retriever` — build any retriever
   from a string spec such as ``"lemp:LI"``, ``"naive"``, ``"ta:heap"`` or
-  ``"tree:cover"``; new retrieval methods self-register with the decorator.
+  ``"tree:cover"``; new retrieval methods self-register with the decorator,
+  and :func:`spec_capabilities` reports a method's capability flags.
+* :class:`ExecutionPlanner` / :class:`PlanExecutor` — every call is first
+  compiled into an explicit :class:`ExecutionPlan` (chunking, chunk-axis
+  workers, per-chunk probe shards, warm-up, merge order; the two sharding
+  axes compose) and then executed with a deterministic plan-order merge.
 * :class:`RetrievalEngine` — wraps a retriever with chunked/batched query
-  execution (serial, or sharded across a thread pool with ``workers=N``),
-  a fluent query builder, per-call statistics, incremental index updates,
-  and ``save`` / ``load`` persistence.
+  execution (serial, or sharded per the plan with ``workers=N``), a fluent
+  query builder, :meth:`~RetrievalEngine.explain` for plan introspection,
+  per-call statistics, incremental index updates, and ``save`` / ``load``
+  persistence (including the engine's :class:`PlanPolicy` knobs).
 
 Quick start::
 
     from repro.engine import RetrievalEngine
 
-    engine = RetrievalEngine("lemp:LI", seed=0).fit(probes)
+    engine = RetrievalEngine("lemp:LI", seed=0, workers=4).fit(probes)
+    print(engine.explain(queries, k=10, batch_size=512).describe())
     top = engine.query(queries).batch_size(512).top_k(10)
     engine.save("idx/")
     ...
     engine = RetrievalEngine.load("idx/")
 """
 
+from repro.engine.executor import PlanExecutor
 from repro.engine.facade import EngineCall, QueryBuilder, RetrievalEngine
+from repro.engine.planner import (
+    CostEstimate,
+    ExecutionPlan,
+    ExecutionPlanner,
+    PlanPolicy,
+)
 from repro.engine.registry import (
     available_specs,
     create_retriever,
     normalize_spec,
     register_retriever,
     registered_names,
+    spec_capabilities,
     spec_is_exact,
 )
 
 __all__ = [
+    "CostEstimate",
     "EngineCall",
+    "ExecutionPlan",
+    "ExecutionPlanner",
+    "PlanExecutor",
+    "PlanPolicy",
     "QueryBuilder",
     "RetrievalEngine",
     "available_specs",
@@ -40,5 +60,6 @@ __all__ = [
     "normalize_spec",
     "register_retriever",
     "registered_names",
+    "spec_capabilities",
     "spec_is_exact",
 ]

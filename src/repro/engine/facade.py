@@ -15,34 +15,32 @@ Three equivalent calling styles::
     for offset, part in engine.iter_row_top_k(queries, 10, 4096):
         ...                                              # streaming batches
 
-With ``RetrievalEngine(..., workers=N)`` the chunks of one call are sharded
-across a thread pool (NumPy/BLAS releases the GIL, so shards genuinely run
-in parallel).  The first chunk always runs serially so the retriever's
-shared :class:`~repro.core.tuning_cache.TuningCache` is warmed exactly once;
-the remaining chunks run on per-shard
-:meth:`~repro.core.api.Retriever.worker_view` clones whose statistics are
-merged back in shard order.  Results are concatenated in query order and
-are bit-identical to serial execution (see
-:attr:`~repro.core.api.Retriever.supports_parallel_queries`).
-
-Calls too small for chunk sharding — a single batch, or so few batches that
-no worker would get one — are instead routed to **probe shards** when the
-retriever supports them (:attr:`~repro.core.api.Retriever.supports_probe_sharding`):
-the retriever splits the probe itself (LEMP cuts the bucket range for
-Above-θ, the query rows for Row-Top-k) across the same engine pool, with a
-deterministic merge that stays byte-identical to serial.  This is what cuts
-single-query latency, the case chunk sharding cannot touch.
+How a call *runs* is decided by the engine's
+:class:`~repro.engine.planner.ExecutionPlanner`: each call gets an explicit
+:class:`~repro.engine.planner.ExecutionPlan` — chunking, chunk-axis worker
+threads, per-chunk probe shards, warm-up step, merge order — built from the
+call shape, the retriever's capabilities, and the engine's
+:class:`~repro.engine.planner.PlanPolicy`.  With
+``RetrievalEngine(..., workers=N)`` a plan may chunk-shard across worker
+views, probe-shard inside each chunk
+(:attr:`~repro.core.api.Retriever.supports_probe_sharding`), or **combine
+both axes** (e.g. 2 chunk workers × 2 probe shards on a 4-worker pool);
+every composition stays bit-identical to serial execution (see
+:mod:`repro.engine.executor` for the mechanics).  :meth:`RetrievalEngine.explain`
+returns the plan a call *would* use without executing anything, and the
+executed call records the identical plan on its :class:`EngineCall`.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.results import AboveThetaResult, TopKResult
+from repro.engine.executor import PlanExecutor
+from repro.engine.planner import ExecutionPlan, ExecutionPlanner, PlanPolicy
 from repro.engine.registry import create_retriever, spec_for_instance
 from repro.exceptions import InvalidParameterError, UnsupportedOperationError
 from repro.utils.timer import Timer
@@ -62,6 +60,12 @@ class EngineCall:
     sample-based tuner.  A warm chunked call shows exactly one miss (the
     first batch tunes and populates the cache) and hits for every further
     batch; a fully warm repeat call shows only hits.
+
+    ``plan`` is the full :class:`~repro.engine.planner.ExecutionPlan` the
+    call executed — the same value :meth:`RetrievalEngine.explain` returns
+    for the same call shape on the same engine state.  The historical
+    ``workers`` / ``probe_shards`` fields live on as read-only views into
+    the plan.
     """
 
     problem: str
@@ -72,16 +76,22 @@ class EngineCall:
     num_results: int
     tuning_cache_hits: int = 0
     tuning_cache_misses: int = 0
-    #: Worker threads the call actually sharded across (1 = serial: either
-    #: the engine's setting, a single-batch call, or a retriever that does
-    #: not support parallel queries).
-    workers: int = 1
-    #: Probe shards each batch of the call was *asked* to split into
-    #: (1 = unsharded).  Greater than 1 only when the call was too small for
-    #: chunk sharding (``workers`` stays 1 then) and the retriever supports
-    #: probe sharding; the retriever may still execute fewer shards when the
-    #: probe has too little to split (e.g. a one-row Row-Top-k batch).
-    probe_shards: int = 1
+    #: The executed plan (``None`` only for records predating the planner).
+    plan: ExecutionPlan | None = None
+
+    @property
+    def workers(self) -> int:
+        """Chunk-axis worker threads the call sharded across (1 = serial)."""
+        return self.plan.workers if self.plan is not None else 1
+
+    @property
+    def probe_shards(self) -> int:
+        """Probe shards each chunk of the call was *asked* to split into.
+
+        The retriever may still execute fewer shards when the probe has too
+        little to split (e.g. a one-row Row-Top-k chunk).
+        """
+        return self.plan.probe_shards if self.plan is not None else 1
 
 
 class RetrievalEngine:
@@ -94,34 +104,35 @@ class RetrievalEngine:
         :func:`repro.engine.registry.create_retriever` (``"lemp:LI"``,
         ``"naive"``, …) or an already-constructed retriever instance.
     workers:
-        Number of threads the work of one call is sharded across
-        (default 1 = serial).  With ``workers > 1`` a multi-chunk call
-        runs its first chunk serially (warming the shared tuning cache)
-        and the rest concurrently on
-        :meth:`~repro.core.api.Retriever.worker_view` clones, with
-        results/statistics merged deterministically in query order —
-        bit-identical to a serial run.  Calls with too few chunks to
-        shard fall back to *probe shards* inside each batch when the
-        retriever supports them (every LEMP variant does, including
-        LEMP-BLSH: its minimum-match base is a pure per-(query, bucket)
-        function of the local threshold, so sharded execution reproduces
-        the serial probe byte for byte; the base used to ratchet across
-        queries in processing order, which forced a serial fallback
-        here).  Retrievers that support neither axis — no
-        :attr:`~repro.core.api.Retriever.supports_parallel_queries` /
-        ``worker_view`` and no
-        :attr:`~repro.core.api.Retriever.supports_probe_sharding`, e.g.
-        the clustered extension — are transparently executed serially.
-        The attribute is plain and may be reassigned between calls to
-        A/B parallelism.
+        Number of threads the work of one call may be sharded across
+        (default 1 = serial).  With ``workers > 1`` the planner composes the
+        two sharding axes per call: enough chunks occupy every worker on the
+        chunk axis (first chunk serial, warming the shared tuning cache;
+        the rest on :meth:`~repro.core.api.Retriever.worker_view` clones);
+        a single- or small-batch call is probe-sharded from the inside
+        (every LEMP variant supports it, including LEMP-BLSH with its
+        order-free minimum-match base); in between, spare workers probe-shard
+        *within* each chunk (e.g. 3 chunks on 4 workers run as 2 chunk
+        workers × 2 probe shards).  Results and statistics are merged
+        deterministically in plan order — bit-identical to a serial run for
+        every composition.  Retrievers that support neither axis (e.g. the
+        clustered extension) are transparently executed serially.  The
+        attribute is plain and may be reassigned between calls to A/B
+        parallelism.
+    plan_policy:
+        Optional :class:`~repro.engine.planner.PlanPolicy` (or dict of its
+        knobs) steering the planner's cost model and axis limits; persisted
+        with the index.  Defaults keep the planner a pure function of call
+        shape and retriever capabilities.
     **kwargs:
         Constructor arguments forwarded when ``retriever`` is a spec string
         (ignored otherwise; passing them with an instance is an error).
     """
 
-    def __init__(self, retriever, workers: int = 1, **kwargs) -> None:
+    def __init__(self, retriever, workers: int = 1, plan_policy=None, **kwargs) -> None:
         """Build (from a spec string) or wrap (an instance) the retriever."""
         self.workers = require_positive_int(workers, "workers")
+        self.planner = ExecutionPlanner(PlanPolicy.coerce(plan_policy))
         if isinstance(retriever, str):
             self.spec: str | None = retriever
             self._construct_kwargs = dict(kwargs)
@@ -137,8 +148,11 @@ class RetrievalEngine:
             self._construct_kwargs = dict(params()) if callable(params) else {}
         self.history: list[EngineCall] = []
         self._probes: np.ndarray | None = None
+        self._plan_executor = PlanExecutor(self)
         self._pool: ThreadPoolExecutor | None = None
         self._pool_size = 0
+        self._probe_pool: ThreadPoolExecutor | None = None
+        self._probe_pool_size = 0
 
     # ------------------------------------------------------------- life cycle
 
@@ -146,6 +160,11 @@ class RetrievalEngine:
     def stats(self):
         """The wrapped retriever's cumulative :class:`~repro.core.stats.RunStats`."""
         return self.retriever.stats
+
+    @property
+    def plan_policy(self) -> PlanPolicy:
+        """The planner's (immutable) cost-model knobs; swap via :attr:`planner`."""
+        return self.planner.policy
 
     @property
     def tuning_cache(self):
@@ -212,118 +231,61 @@ class RetrievalEngine:
         """Start a fluent query: ``engine.query(q).batch_size(n).top_k(k)``."""
         return QueryBuilder(self, queries)
 
-    def _batches(self, queries: np.ndarray, batch_size: int | None):
+    # ------------------------------------------------------ planning/execution
+
+    def _resolve_batch_size(self, batch_size: int | None) -> int:
         if batch_size is None:
-            batch_size = DEFAULT_BATCH_SIZE
+            return DEFAULT_BATCH_SIZE
+        return require_positive_int(batch_size, "batch_size")
+
+    def _plan(self, problem: str, parameter: float, num_queries: int,
+              batch_size: int | None) -> ExecutionPlan:
+        """Build the call's :class:`~repro.engine.planner.ExecutionPlan`."""
+        return self.planner.plan(
+            problem=problem,
+            parameter=float(parameter),
+            num_queries=int(num_queries),
+            batch_size=self._resolve_batch_size(batch_size),
+            workers=self.workers,
+            retriever=self.retriever,
+        )
+
+    def explain(self, queries, *, theta: float | None = None, k: int | None = None,
+                batch_size: int | None = None) -> ExecutionPlan:
+        """The plan the matching call would execute, without executing it.
+
+        Exactly one of ``theta`` (Above-θ) or ``k`` (Row-Top-k) selects the
+        problem; ``queries`` is the query matrix — or, as a convenience, a
+        plain row count, since planning only reads the shape.  The returned
+        plan compares equal (``==``) to the :attr:`EngineCall.plan` the real
+        call records, provided the engine state (index, :attr:`workers`,
+        policy) is unchanged in between::
+
+            plan = engine.explain(queries, k=10, batch_size=4096)
+            print(plan.describe())
+            engine.row_top_k(queries, 10, batch_size=4096)
+            assert engine.history[-1].plan == plan
+        """
+        if (theta is None) == (k is None):
+            raise InvalidParameterError(
+                "explain() takes exactly one of theta= (Above-theta) or k= (Row-Top-k)"
+            )
+        if isinstance(queries, (int, np.integer)):
+            num_queries = int(queries)
+            if num_queries < 0:
+                raise InvalidParameterError("a query row count must be non-negative")
         else:
-            require_positive_int(batch_size, "batch_size")
-        for start in range(0, queries.shape[0], batch_size):
-            yield start, queries[start:start + batch_size]
-
-    # ----------------------------------------------------- sharded execution
-
-    def _effective_workers(self, num_batches: int) -> int:
-        """Worker threads a call with ``num_batches`` chunks will shard across.
-
-        1 (serial) unless the engine is configured with ``workers > 1``,
-        there is more than one chunk, and the retriever declares
-        ``supports_parallel_queries`` and provides ``worker_view``.  The
-        first chunk always runs serially, so at most ``num_batches - 1``
-        threads are ever useful.
-        """
-        if self.workers <= 1 or num_batches <= 1:
-            return 1
-        if not getattr(self.retriever, "supports_parallel_queries", False):
-            return 1
-        if getattr(self.retriever, "worker_view", None) is None:
-            return 1
-        return min(self.workers, num_batches - 1)
-
-    def _effective_probe_shards(self, num_batches: int) -> int:
-        """Probe shards each batch of a call with ``num_batches`` chunks gets.
-
-        1 (unsharded) unless the engine has spare workers that chunk
-        sharding cannot use — a single-batch call, or any call whose
-        :meth:`_effective_workers` degenerates to serial — and the retriever
-        implements probe sharding
-        (:attr:`~repro.core.api.Retriever.supports_probe_sharding`).  The
-        two sharding axes are never combined: a call is either chunk-sharded
-        across worker views or probe-sharded inside each (serially executed)
-        batch.
-        """
-        if self.workers <= 1 or num_batches < 1:
-            return 1
-        if self._effective_workers(num_batches) > 1:
-            return 1
-        if not getattr(self.retriever, "supports_probe_sharding", False):
-            return 1
-        return self.workers
-
-    def _solve_batches(self, batches: list, solve):
-        """Yield ``(row_offset, result)`` per batch, in query order.
-
-        Serial or sharded depending on :meth:`_effective_workers`.  The
-        sharded path runs the first batch on the engine's own retriever
-        (running the tuner / building lazy indexes exactly once into the
-        shared caches), fans the remaining batches out to per-shard
-        :meth:`~repro.core.api.Retriever.worker_view` clones on a thread
-        pool with a bounded prefetch window, and yields results strictly in
-        submission order.  Shard statistics are merged into the retriever's
-        :class:`~repro.core.stats.RunStats` in batch order, so cumulative
-        counters match a serial run exactly.
-        """
-        workers = self._effective_workers(len(batches))
-        if workers <= 1:
-            probe_shards = self._effective_probe_shards(len(batches))
-            if probe_shards > 1:
-                # The call is too small for chunk sharding; parallelise each
-                # batch from the inside instead, on the same engine pool.
-                pool = self._executor(self.workers)
-                for start, block in batches:
-                    yield start, solve(self.retriever, block,
-                                       probe_shards=probe_shards, executor=pool)
-            else:
-                for start, block in batches:
-                    yield start, solve(self.retriever, block)
-            return
-
-        first_start, first_block = batches[0]
-        yield first_start, solve(self.retriever, first_block)
-        views = [self.retriever.worker_view() for _ in batches[1:]]
-        # The pool is sized by the *configured* worker count so it survives
-        # calls with fewer batches; per-call concurrency is still bounded by
-        # the in-flight window below.
-        pool = self._executor(self.workers)
-        window = 2 * workers
-        pending: deque = deque()
-        next_batch = 1
-        try:
-            while pending or next_batch < len(batches):
-                while next_batch < len(batches) and len(pending) < window:
-                    start, block = batches[next_batch]
-                    view = views[next_batch - 1]
-                    pending.append((start, pool.submit(solve, view, block)))
-                    next_batch += 1
-                start, future = pending.popleft()
-                yield start, future.result()
-        finally:
-            # If the consumer abandoned the iterator (or a shard raised),
-            # settle the in-flight futures before touching shard state:
-            # queued ones are cancelled, running ones are waited out.
-            for _, future in pending:
-                future.cancel()
-                if not future.cancelled():
-                    try:
-                        future.result()
-                    except Exception:  # noqa: S110 - shard error already surfaced
-                        pass
-            # Deterministic roll-up: batch order, not completion order, so
-            # counter totals (and float timing sums) are reproducible.
-            for view in views:
-                self.retriever.stats.merge(view.stats)
+            num_queries = int(as_float_matrix(queries, "queries").shape[0])
+        if theta is not None:
+            require_positive(theta, "theta")
+            _require_method(self.retriever, "above_theta")
+            return self._plan("above_theta", float(theta), num_queries, batch_size)
+        require_positive_int(k, "k")
+        _require_method(self.retriever, "row_top_k")
+        return self._plan("row_top_k", float(k), num_queries, batch_size)
 
     def _executor(self, workers: int) -> ThreadPoolExecutor:
-        """The engine-owned worker pool, (re)created lazily.
+        """The engine-owned chunk-axis pool, (re)created lazily.
 
         Reused across calls so worker threads — and their per-thread kernel
         scratch buffers — stay warm; recreated only when :attr:`workers`
@@ -340,14 +302,31 @@ class RetrievalEngine:
             self._pool_size = workers
         return self._pool
 
-    def _iter_above(self, queries: np.ndarray, theta: float, batch_size: int | None):
-        require_positive(theta, "theta")
-        _require_method(self.retriever, "above_theta")
+    def _probe_executor(self) -> ThreadPoolExecutor:
+        """The engine-owned probe-shard pool, separate from the chunk pool.
 
+        Probe-shard subtasks are pure leaves (they never submit further
+        work), while chunk tasks *block* on their probe subtasks; keeping
+        the two task kinds on separate pools makes the combined-axis
+        composition deadlock-free by construction.  Sized like the chunk
+        pool: a plan dispatches at most ``workers × (shards - 1)`` probe
+        tasks — but shard 0 of every probe runs inline on its chunk's
+        thread, so ``workers`` threads bound the genuinely concurrent ones.
+        """
+        if self._probe_pool is None or self._probe_pool_size != self.workers:
+            if self._probe_pool is not None:
+                self._probe_pool.shutdown(wait=False)
+            self._probe_pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-probe-shard"
+            )
+            self._probe_pool_size = self.workers
+        return self._probe_pool
+
+    def _iter_above(self, queries: np.ndarray, theta: float, plan: ExecutionPlan):
         def solve(retriever, block, **probe_kwargs):
             return retriever.above_theta(block, theta, **probe_kwargs)
 
-        yield from self._solve_batches(list(self._batches(queries, batch_size)), solve)
+        yield from self._plan_executor.run(plan, queries, solve)
 
     def iter_above_theta(self, queries, theta: float, batch_size: int | None = None):
         """Yield ``(row_offset, AboveThetaResult)`` per query batch.
@@ -364,68 +343,74 @@ class RetrievalEngine:
         (``tune_cache=False``) every batch tunes afresh.
 
         With ``workers > 1`` upcoming batches are prefetched on the worker
-        pool (a bounded window of ``2 * workers``), so abandoning the
+        pool (a bounded window of ``2 * plan.workers``), so abandoning the
         iterator early may still have computed — and counted into the
         retriever's statistics — a few batches beyond the last one consumed.
         Yield order remains strict query order either way.
         """
         queries = as_float_matrix(queries, "queries")
-        yield from self._iter_above(queries, theta, batch_size)
+        require_positive(theta, "theta")
+        _require_method(self.retriever, "above_theta")
+        plan = self._plan("above_theta", float(theta), queries.shape[0], batch_size)
+        yield from self._iter_above(queries, theta, plan)
 
     def above_theta(self, queries, theta: float, batch_size: int | None = None) -> AboveThetaResult:
         """Solve Above-θ over the full query matrix in bounded batches."""
         queries = as_float_matrix(queries, "queries")
+        require_positive(theta, "theta")
+        _require_method(self.retriever, "above_theta")
+        plan = self._plan("above_theta", float(theta), queries.shape[0], batch_size)
         offsets: list[int] = []
         parts: list[AboveThetaResult] = []
         hits_before, misses_before = self._tuning_counters()
         with Timer() as timer:
-            for start, part in self._iter_above(queries, theta, batch_size):
+            for start, part in self._iter_above(queries, float(theta), plan):
                 offsets.append(start)
                 parts.append(part)
         merged = AboveThetaResult.concat(parts, float(theta), query_offsets=offsets)
-        self._record("above_theta", float(theta), int(queries.shape[0]),
-                     len(parts), timer.elapsed, merged.num_results,
+        self._record(plan, len(parts), timer.elapsed, merged.num_results,
                      hits_before, misses_before)
         return merged
 
-    def _iter_top_k(self, queries: np.ndarray, k: int, batch_size: int | None):
-        require_positive_int(k, "k")
-        _require_method(self.retriever, "row_top_k")
-
+    def _iter_top_k(self, queries: np.ndarray, k: int, plan: ExecutionPlan):
         def solve(retriever, block, **probe_kwargs):
             return retriever.row_top_k(block, k, **probe_kwargs)
 
-        yield from self._solve_batches(list(self._batches(queries, batch_size)), solve)
+        yield from self._plan_executor.run(plan, queries, solve)
 
     def iter_row_top_k(self, queries, k: int, batch_size: int | None = None):
         """Yield ``(row_offset, TopKResult)`` per query batch."""
         queries = as_float_matrix(queries, "queries")
-        yield from self._iter_top_k(queries, k, batch_size)
+        require_positive_int(k, "k")
+        _require_method(self.retriever, "row_top_k")
+        plan = self._plan("row_top_k", float(k), queries.shape[0], batch_size)
+        yield from self._iter_top_k(queries, k, plan)
 
     def row_top_k(self, queries, k: int, batch_size: int | None = None) -> TopKResult:
         """Solve Row-Top-k over the full query matrix in bounded batches."""
         queries = as_float_matrix(queries, "queries")
+        require_positive_int(k, "k")
+        _require_method(self.retriever, "row_top_k")
+        plan = self._plan("row_top_k", float(k), queries.shape[0], batch_size)
         parts: list[TopKResult] = []
         hits_before, misses_before = self._tuning_counters()
         with Timer() as timer:
-            for _, part in self._iter_top_k(queries, k, batch_size):
+            for _, part in self._iter_top_k(queries, int(k), plan):
                 parts.append(part)
         merged = TopKResult.concat(parts, int(k))
-        self._record("row_top_k", float(k), int(queries.shape[0]), len(parts),
-                     timer.elapsed, int(np.sum(merged.indices >= 0)),
+        self._record(plan, len(parts), timer.elapsed, int(np.sum(merged.indices >= 0)),
                      hits_before, misses_before)
         return merged
 
-    def _record(self, problem: str, parameter: float, num_queries: int,
-                num_batches: int, seconds: float, num_results: int,
-                hits_before: int = 0, misses_before: int = 0) -> None:
+    def _record(self, plan: ExecutionPlan, num_batches: int, seconds: float,
+                num_results: int, hits_before: int = 0, misses_before: int = 0) -> None:
         hits_after, misses_after = self._tuning_counters()
         self.history.append(
-            EngineCall(problem, parameter, int(num_queries), num_batches, seconds, num_results,
+            EngineCall(plan.problem, plan.parameter, plan.num_queries,
+                       num_batches, seconds, num_results,
                        tuning_cache_hits=hits_after - hits_before,
                        tuning_cache_misses=misses_after - misses_before,
-                       workers=self._effective_workers(num_batches),
-                       probe_shards=self._effective_probe_shards(num_batches))
+                       plan=plan)
         )
 
     # ------------------------------------------------------------ persistence
@@ -455,8 +440,9 @@ class RetrievalEngine:
 class QueryBuilder:
     """Fluent builder for one query workload against an engine.
 
-    Terminal methods: :meth:`top_k`, :meth:`above` (merged results) and
-    :meth:`top_k_batches`, :meth:`above_batches` (streaming per-batch).
+    Terminal methods: :meth:`top_k`, :meth:`above` (merged results),
+    :meth:`top_k_batches`, :meth:`above_batches` (streaming per-batch), and
+    :meth:`explain_top_k` / :meth:`explain_above` (the plan, not executed).
     """
 
     def __init__(self, engine: RetrievalEngine, queries) -> None:
@@ -485,6 +471,14 @@ class QueryBuilder:
     def above_batches(self, theta: float):
         """Yield ``(row_offset, AboveThetaResult)`` per batch without merging."""
         return self._engine.iter_above_theta(self._queries, theta, self._batch_size)
+
+    def explain_top_k(self, k: int) -> ExecutionPlan:
+        """The plan :meth:`top_k` would execute, without executing it."""
+        return self._engine.explain(self._queries, k=k, batch_size=self._batch_size)
+
+    def explain_above(self, theta: float) -> ExecutionPlan:
+        """The plan :meth:`above` would execute, without executing it."""
+        return self._engine.explain(self._queries, theta=theta, batch_size=self._batch_size)
 
 
 def _require_method(retriever, method: str):

@@ -3,9 +3,11 @@
 A saved index is a directory with two files:
 
 * ``meta.json`` — format version, library version, the retriever spec string
-  and its constructor arguments, basic shape information, and (for retrievers
-  with a :class:`~repro.core.tuning_cache.TuningCache`) the cached tuning
-  entries keyed by content fingerprints;
+  and its constructor arguments, basic shape information, the engine's
+  non-default :class:`~repro.engine.planner.PlanPolicy` knobs (under
+  ``"plan_policy"``), and (for retrievers with a
+  :class:`~repro.core.tuning_cache.TuningCache`) the cached tuning entries
+  keyed by content fingerprints;
 * ``index.npz`` — the normalised probe matrix plus, when the retriever
   implements :meth:`~repro.core.api.Retriever.index_state`, the fitted index
   arrays (stored under a ``state.`` key prefix).
@@ -36,7 +38,12 @@ from repro.exceptions import NotPreparedError, PersistenceError
 #:    per-(query, bucket) function of the local threshold, recorded in
 #:    ``meta["blsh_base"]``.  Version-1 indexes still load (the filter was
 #:    never serialised), but a version-1 LEMP-BLSH index answers queries with
-#:    the new order-free base, so a deprecation note is emitted.
+#:    the new order-free base, so a ``FutureWarning`` is emitted (shown by
+#:    default, unlike ``DeprecationWarning`` — the note targets end users).
+#:    The planner layer later added the optional ``meta["plan_policy"]``
+#:    object (the engine's non-default cost-model knobs); purely additive,
+#:    so the format number stays 2 — readers without the planner ignore the
+#:    key, and readers with it ignore unknown knobs saved by newer versions.
 FORMAT_VERSION = 2
 
 #: Format versions :func:`load_engine` accepts.
@@ -101,6 +108,9 @@ def save_engine(engine, path) -> None:
         "has_state": state is not None,
         "workers": int(engine.workers),
     }
+    plan_policy = engine.plan_policy.non_default_dict()
+    if plan_policy:
+        meta["plan_policy"] = plan_policy
     if _is_blsh_retriever(engine.retriever):
         meta["blsh_base"] = BLSH_BASE_SEMANTICS
     cache = getattr(engine.retriever, "tuning_cache", None)
@@ -144,8 +154,14 @@ def load_engine(path):
             if key.startswith(_STATE_PREFIX)
         }
 
+    # Lenient knob parsing: an index saved by a newer library may carry plan
+    # policy knobs this version does not know; they are dropped, not fatal.
+    from repro.engine.planner import PlanPolicy
+
+    plan_policy = PlanPolicy.from_dict(meta.get("plan_policy", {}), strict=False)
     engine = RetrievalEngine(
-        meta["spec"], workers=int(meta.get("workers", 1)), **meta.get("kwargs", {})
+        meta["spec"], workers=int(meta.get("workers", 1)),
+        plan_policy=plan_policy, **meta.get("kwargs", {})
     )
     if _is_blsh_retriever(engine.retriever) and meta.get("blsh_base") != BLSH_BASE_SEMANTICS:
         # A ratchet-era LEMP-BLSH index: the saved index itself is fine (the

@@ -45,6 +45,8 @@ class _Registration:
     default_variant: str | None = None
     exact: bool = True
     accepts_seed: bool = field(default=False)
+    #: Lazily probed capability flags, keyed by concrete spec string.
+    _capabilities: dict = field(default_factory=dict, repr=False)
 
     def specs(self) -> list[str]:
         """All concrete spec strings this registration answers to."""
@@ -205,6 +207,41 @@ def available_specs() -> tuple[str, ...]:
     for name in sorted(_REGISTRY):
         specs.extend(_REGISTRY[name].specs())
     return tuple(specs)
+
+
+def spec_capabilities(spec: str) -> dict:
+    """Capability flags of the method behind ``spec``, as a plain dict.
+
+    The flags are what the :class:`~repro.engine.planner.ExecutionPlanner`
+    consults on the live retriever instance, surfaced here so callers (the
+    CLI's ``explain``, monitoring dashboards) can inspect a method without
+    building an index:
+
+    * ``exact`` — returns exactly the requested entries of ``Q·Pᵀ``
+      (:func:`spec_is_exact`);
+    * ``parallel_queries`` — query chunks may run concurrently on
+      :meth:`~repro.core.api.Retriever.worker_view` clones (the chunk axis);
+    * ``probe_sharding`` — one probe call can split across concurrent
+      shards (the probe axis);
+    * ``updates`` — ``partial_fit`` / ``remove`` are implemented.
+
+    Flags are probed once per concrete spec on a default-constructed,
+    unfitted instance (capabilities are class-level contracts, not fitted
+    state) and cached on the registration.
+    """
+    canonical = normalize_spec(spec)
+    name, _, _ = canonical.partition(":")
+    registration = _REGISTRY[name]
+    if canonical not in registration._capabilities:
+        instance = create_retriever(canonical)
+        registration._capabilities[canonical] = {
+            "exact": spec_is_exact(canonical),
+            "parallel_queries": bool(getattr(instance, "supports_parallel_queries", False))
+            and getattr(instance, "worker_view", None) is not None,
+            "probe_sharding": bool(getattr(instance, "supports_probe_sharding", False)),
+            "updates": bool(getattr(instance, "supports_updates", False)),
+        }
+    return dict(registration._capabilities[canonical])
 
 
 def spec_is_exact(spec: str) -> bool:

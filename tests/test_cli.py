@@ -110,6 +110,37 @@ class TestCommands:
         assert code == 0
         assert "LEMP-LC" in output
 
+    def test_explain_prints_plan_without_running(self):
+        code, output = run_cli(
+            ["explain", "--dataset", "netflix", "--scale", "tiny",
+             "--k", "5", "--workers", "4", "--batch-size", "128"]
+        )
+        assert code == 0
+        assert "row_top_k" in output
+        assert "chunk workers" in output
+        assert "probe shards" in output
+        assert "reason" in output
+        assert "probe_sharding=yes" in output
+        assert "executed" not in output  # nothing ran
+
+    def test_explain_execute_verifies_recorded_plan(self):
+        code, output = run_cli(
+            ["explain", "--dataset", "ie-svd", "--scale", "tiny",
+             "--theta", "1.5", "--workers", "3", "--execute"]
+        )
+        assert code == 0
+        assert "above_theta" in output
+        assert "recorded plan matches" in output
+
+    def test_explain_defaults_to_top_10(self):
+        code, output = run_cli(["explain", "--dataset", "netflix", "--scale", "tiny"])
+        assert code == 0
+        assert "row_top_k(parameter=10)" in output
+
+    def test_explain_k_and_theta_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "--k", "5", "--theta", "1.0"])
+
     def test_index_saves_and_verifies(self, tmp_path):
         out = tmp_path / "idx"
         code, output = run_cli(

@@ -385,7 +385,7 @@ class TestPersistenceFormat:
         assert "blsh_base" not in meta
 
     @pytest.mark.parametrize("spec", ["lemp:BLSH", "LEMP-BLSH"])
-    def test_ratchet_era_blsh_index_loads_with_deprecation_note(self, spec, tmp_path):
+    def test_ratchet_era_blsh_index_loads_with_future_warning(self, spec, tmp_path):
         engine = RetrievalEngine(spec, seed=0).fit(PROBES)
         expected = engine.above_theta(QUERIES, THETA)
         engine.save(tmp_path / "idx")
@@ -499,7 +499,7 @@ class TestCompletionOrderIndependence:
         engine = RetrievalEngine("lemp:LI", seed=0, workers=4).fit(PROBES)
         expected = engine.above_theta(QUERIES, THETA)  # warm, probe-sharded
         scrambler = CompletionScrambler(burst=3)  # 4 shards - 1 inline
-        engine._executor = lambda workers: scrambler  # monkeypatch the pool
+        engine._probe_executor = lambda: scrambler  # monkeypatch the probe pool
         try:
             observed = engine.above_theta(QUERIES, THETA)
             assert engine.history[-1].probe_shards == 4

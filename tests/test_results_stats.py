@@ -82,6 +82,42 @@ class TestRunStats:
         assert first.candidates == 15
         assert first.retrieval_seconds == pytest.approx(1.5)
 
+    def test_merge_extra_sums_numbers(self):
+        first = RunStats(extra={"pool_hits": 3, "elapsed": 0.5})
+        first.merge(RunStats(extra={"pool_hits": 4, "elapsed": 0.25}))
+        assert first.extra == {"pool_hits": 7, "elapsed": 0.75}
+
+    def test_merge_extra_adopts_missing_keys(self):
+        first = RunStats(extra={"pool_hits": 3})
+        first.merge(RunStats(extra={"backend": "blas", "ratio": 0.5}))
+        assert first.extra == {"pool_hits": 3, "backend": "blas", "ratio": 0.5}
+
+    def test_merge_extra_keeps_first_on_type_conflict(self):
+        """Non-summable conflicts resolve keep-first, never silently drop."""
+        first = RunStats(extra={"backend": "blas", "mode": 1})
+        first.merge(RunStats(extra={"backend": "einsum", "mode": "fast"}))
+        assert first.extra == {"backend": "blas", "mode": 1}
+        # Merge order decides, deterministically: reversed inputs keep "einsum".
+        flipped = RunStats(extra={"backend": "einsum", "mode": "fast"})
+        flipped.merge(RunStats(extra={"backend": "blas", "mode": 1}))
+        assert flipped.extra == {"backend": "einsum", "mode": "fast"}
+
+    def test_merge_extra_booleans_are_flags_not_counters(self):
+        first = RunStats(extra={"warm": True})
+        first.merge(RunStats(extra={"warm": True}))
+        first.merge(RunStats(extra={"warm": False}))
+        assert first.extra == {"warm": True}  # keep-first, not True + True == 2
+
+    def test_merge_extra_is_deterministic_across_repeats(self):
+        shards = [RunStats(extra={"order": label, "count": 1}) for label in "abc"]
+        totals = []
+        for _ in range(2):
+            merged = RunStats()
+            for shard in shards:
+                merged.merge(shard)
+            totals.append(dict(merged.extra))
+        assert totals[0] == totals[1] == {"order": "a", "count": 3}
+
     def test_reset(self):
         stats = RunStats(num_queries=2, candidates=10, preprocessing_seconds=1.0)
         stats.extra["x"] = 1
