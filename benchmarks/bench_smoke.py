@@ -87,6 +87,11 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument(
         "--output", type=Path, default=Path("BENCH_smoke.json"), help="JSON report path"
     )
+    parser.add_argument(
+        "--commit-path", type=Path, default=None,
+        help="also write the report to this path (for committed baselines at "
+             "the repo root, kept separate from --output scratch runs)",
+    )
     return parser.parse_args(argv)
 
 
@@ -349,6 +354,9 @@ def main(argv=None) -> int:
     args = parse_args(argv)
     report = run_smoke(args)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
+    if args.commit_path is not None:
+        args.commit_path.parent.mkdir(parents=True, exist_ok=True)
+        args.commit_path.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     if not report["passed"]:
         failed = [name for name, check in report["checks"].items() if not check["passed"]]

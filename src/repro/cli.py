@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro above --dataset ie-svd --results 1000
     python -m repro explain --dataset netflix --k 10 --workers 4
     python -m repro index --dataset netflix --spec lemp:LI --out idx/
+    python -m repro serve --index idx/ --clients 16 --workers 2
     python -m repro tables --which table3 table4     # regenerate paper tables
 
 The CLI is a thin wrapper around the library: retrievers are constructed from
@@ -20,7 +21,12 @@ persists it, and verifies the reloaded copy — the starting point for serving
 deployments.  ``explain`` shows the :class:`~repro.engine.planner.ExecutionPlan`
 a workload would run under — chunking, chunk workers, probe shards, merge
 order, cost estimates — without executing it (add ``--execute`` to also run
-the call and check the recorded plan matches).
+the call and check the recorded plan matches), plus the retriever's serving
+compatibility (micro-batching, mmap/process backend).  ``serve`` drives an
+asyncio client swarm against a persisted index through the
+:class:`~repro.serve.ServingEngine` — dynamic micro-batching, optional
+process workers sharing one memory-mapped index — and reports latency
+percentiles and throughput.
 """
 
 from __future__ import annotations
@@ -42,7 +48,13 @@ from repro.eval import (
     theta_for_result_count,
 )
 from repro.eval import experiments as experiment_definitions
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    InvalidParameterError,
+    ReproError,
+    RequestTimeoutError,
+    ServiceOverloadedError,
+)
+from repro.serve import ServingEngine, WorkerPool, describe_serve_compatibility
 
 #: Table/figure identifiers accepted by the ``tables`` sub-command.
 TABLE_BUILDERS = {
@@ -128,6 +140,33 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("--skip-verify", action="store_true",
                        help="skip the reload-and-compare verification pass")
 
+    serve = subparsers.add_parser(
+        "serve", help="drive concurrent clients against a saved index via the serving engine"
+    )
+    serve.add_argument("--index", required=True, help="saved index directory (repro index --out)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes mapping the index (0 = solve in-process)")
+    serve.add_argument("--max-batch-rows", type=int, default=256,
+                       help="micro-batch flush budget in query rows")
+    serve.add_argument("--max-wait-us", type=int, default=2000,
+                       help="bounded micro-batch delay in microseconds")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="concurrent asyncio clients")
+    serve.add_argument("--requests", type=int, default=8,
+                       help="requests each client sends")
+    serve.add_argument("--rows", type=int, default=4,
+                       help="query rows per request")
+    serve.add_argument("--rank", type=int, default=None,
+                       help="query rank (default: read from the index)")
+    problem = serve.add_mutually_exclusive_group()
+    problem.add_argument("--k", type=int, default=None,
+                         help="Row-Top-k workload (default: k=10 when --theta is absent)")
+    problem.add_argument("--theta", type=float, default=None, help="Above-theta workload")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-request deadline in seconds")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for the synthetic client queries")
+
     tables = subparsers.add_parser("tables", help="regenerate paper tables/figures")
     tables.add_argument("--which", nargs="+", default=["table3"], choices=sorted(TABLE_BUILDERS))
     tables.add_argument("--scale", default="tiny", choices=sorted(SCALES))
@@ -212,6 +251,7 @@ def _command_explain(args, out) -> int:
     print(f"workload: {dataset.name}, {dataset.queries.shape[0]} queries x "
           f"{engine.num_probes} probes, workers={args.workers}", file=out)
     print(plan.describe(), file=out)
+    print(describe_serve_compatibility(engine), file=out)
     if not args.execute:
         return 0
     if theta is not None:
@@ -251,6 +291,88 @@ def _command_index(args, out) -> int:
         if not identical:
             print(format_table(["metric", "value"], rows), file=out)
             return 1
+    print(format_table(["metric", "value"], rows), file=out)
+    return 0
+
+
+def _command_serve(args, out) -> int:
+    import asyncio
+    import time
+
+    engine = RetrievalEngine.load(args.index, mmap_mode="r")
+    rank = args.rank
+    if rank is None:
+        store = getattr(engine.retriever, "store", None)
+        if store is not None:
+            rank = int(store.rank)
+        elif engine._probes is not None:
+            rank = int(engine._probes.shape[1])
+        else:
+            raise InvalidParameterError(
+                "cannot infer the query rank from this index; pass --rank"
+            )
+    k, theta = args.k, args.theta
+    if k is None and theta is None:
+        k = 10
+
+    rng = np.random.default_rng(args.seed)
+    workload = [
+        [rng.normal(size=(args.rows, rank)) for _ in range(args.requests)]
+        for _ in range(args.clients)
+    ]
+    latencies: list[float] = []
+
+    async def client(serving, requests) -> None:
+        for block in requests:
+            started = time.perf_counter()
+            try:
+                if theta is not None:
+                    await serving.above_theta(block, theta, timeout=args.timeout)
+                else:
+                    await serving.row_top_k(block, k, timeout=args.timeout)
+            except (RequestTimeoutError, ServiceOverloadedError):
+                continue  # counted by the serving engine's own metrics
+            latencies.append(time.perf_counter() - started)
+
+    async def drive():
+        async with ServingEngine(
+            engine, max_batch_rows=args.max_batch_rows, max_wait_us=args.max_wait_us
+        ) as serving:
+            await asyncio.gather(*(client(serving, requests) for requests in workload))
+            return serving
+
+    pool = WorkerPool(args.index, args.workers) if args.workers > 0 else None
+    if pool is not None:
+        engine.use_worker_pool(pool)
+    started = time.perf_counter()
+    try:
+        serving = asyncio.run(drive())
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    elapsed = time.perf_counter() - started
+
+    answered = len(latencies)
+    batch_rows = [record.num_rows for record in serving.flushes]
+    rows = [
+        ["index", str(Path(args.index))],
+        ["backend", f"{args.workers} worker processes" if pool is not None else "in-process"],
+        ["problem", f"above_theta(theta={theta:g})" if theta is not None else f"row_top_k(k={k})"],
+        ["clients x requests x rows", f"{args.clients} x {args.requests} x {args.rows}"],
+        ["answered / shed / timed out",
+         f"{answered} / {serving.requests_shed} / {serving.requests_timed_out}"],
+        ["wall seconds", round(elapsed, 4)],
+        ["throughput (req/s)", round(answered / elapsed, 1) if elapsed > 0 else float("inf")],
+        ["batches flushed", len(serving.flushes)],
+        ["mean rows per batch",
+         round(float(np.mean(batch_rows)), 1) if batch_rows else 0.0],
+    ]
+    if latencies:
+        for label, percentile in (("p50", 50), ("p95", 95), ("p99", 99)):
+            rows.append(
+                [f"latency {label} (ms)",
+                 round(float(np.percentile(latencies, percentile)) * 1e3, 3)]
+            )
     print(format_table(["metric", "value"], rows), file=out)
     return 0
 
@@ -318,6 +440,8 @@ def main(argv=None, out=None) -> int:
             return _command_explain(args, out)
         if args.command == "index":
             return _command_index(args, out)
+        if args.command == "serve":
+            return _command_serve(args, out)
         return _command_tables(args, out)
     except ReproError as error:
         print(f"error: {error}", file=out)

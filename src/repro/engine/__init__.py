@@ -14,7 +14,10 @@ This package is the serving-oriented surface over the algorithmic core:
   execution (serial, or sharded per the plan with ``workers=N``), a fluent
   query builder, :meth:`~RetrievalEngine.explain` for plan introspection,
   per-call statistics, incremental index updates, and ``save`` / ``load``
-  persistence (including the engine's :class:`PlanPolicy` knobs).
+  persistence (including the engine's :class:`PlanPolicy` knobs).  Format-3
+  indexes reload with ``mmap_mode="r"`` (memory-mapped arrays), and
+  attaching a :class:`repro.serve.WorkerPool` switches plans from the
+  :data:`BACKEND_THREADS` backend to :data:`BACKEND_PROCESSES`.
 
 Quick start::
 
@@ -31,6 +34,8 @@ Quick start::
 from repro.engine.executor import PlanExecutor
 from repro.engine.facade import EngineCall, QueryBuilder, RetrievalEngine
 from repro.engine.planner import (
+    BACKEND_PROCESSES,
+    BACKEND_THREADS,
     CostEstimate,
     ExecutionPlan,
     ExecutionPlanner,
@@ -47,6 +52,8 @@ from repro.engine.registry import (
 )
 
 __all__ = [
+    "BACKEND_PROCESSES",
+    "BACKEND_THREADS",
     "CostEstimate",
     "EngineCall",
     "ExecutionPlan",

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.engine.planner import ExecutionPlan
+from repro.engine.planner import BACKEND_PROCESSES, ExecutionPlan
+from repro.exceptions import UnsupportedOperationError
 
 
 class PlanExecutor:
@@ -56,11 +57,18 @@ class PlanExecutor:
 
         ``solve(retriever, block, **probe_kwargs)`` runs one chunk; the
         executor decides which retriever object (engine's own or a worker
-        view) and which probe kwargs each chunk gets.
+        view) and which probe kwargs each chunk gets.  Plans on the process
+        backend ignore ``solve`` entirely — chunks are shipped to the
+        engine's attached :class:`~repro.serve.WorkerPool`, which runs the
+        equivalent serial solve in a worker process against its own mapping
+        of the same index (see :meth:`_run_processes`).
         """
         engine = self._engine
         retriever = engine.retriever
         batches = [(start, queries[start:end]) for start, end in plan.chunks]
+        if plan.backend == BACKEND_PROCESSES:
+            yield from self._run_processes(plan, batches)
+            return
         probe_kwargs = self._probe_kwargs(plan)
 
         if plan.workers <= 1:
@@ -108,3 +116,50 @@ class PlanExecutor:
             # counter totals (and float timing sums) are reproducible.
             for view in views:
                 retriever.stats.merge(view.stats)
+
+    def _run_processes(self, plan: ExecutionPlan, batches):
+        """Chunk fan-out over the engine's attached worker-process pool.
+
+        Every chunk (including the first — there is no warm-up on this
+        backend; workers arrive with the index's persisted tuning cache
+        already loaded) is submitted to the pool with the same bounded
+        in-flight window as the thread path.  Workers return
+        ``(result, stats)`` pairs; results are yielded strictly in batch
+        order and stats are merged into the parent retriever in batch
+        order, preserving the plan-order merge contract across the process
+        boundary.
+        """
+        engine = self._engine
+        pool = engine.worker_pool
+        if pool is None:
+            raise UnsupportedOperationError(
+                "plan requests the process backend but the engine has no "
+                "attached worker pool; call engine.use_worker_pool(pool) first"
+            )
+        retriever = engine.retriever
+        window = 2 * plan.workers
+        pending: deque = deque()
+        collected: list = []
+        next_batch = 0
+        try:
+            while pending or next_batch < len(batches):
+                while next_batch < len(batches) and len(pending) < window:
+                    start, block = batches[next_batch]
+                    pending.append(
+                        (start, pool.submit(plan.problem, plan.parameter, block))
+                    )
+                    next_batch += 1
+                start, future = pending.popleft()
+                result, stats = future.result()
+                collected.append(stats)
+                yield start, result
+        finally:
+            for _, future in pending:
+                future.cancel()
+                if not future.cancelled():
+                    try:
+                        future.result()
+                    except Exception:  # noqa: S110 - worker error already surfaced
+                        pass
+            for stats in collected:
+                retriever.stats.merge(stats)

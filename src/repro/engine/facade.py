@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.core.results import AboveThetaResult, TopKResult
 from repro.engine.executor import PlanExecutor
-from repro.engine.planner import ExecutionPlan, ExecutionPlanner, PlanPolicy
+from repro.engine.planner import BACKEND_PROCESSES, ExecutionPlan, ExecutionPlanner, PlanPolicy
 from repro.engine.registry import create_retriever, spec_for_instance
 from repro.exceptions import InvalidParameterError, UnsupportedOperationError
 from repro.utils.timer import Timer
@@ -153,6 +153,8 @@ class RetrievalEngine:
         self._pool_size = 0
         self._probe_pool: ThreadPoolExecutor | None = None
         self._probe_pool_size = 0
+        #: Attached :class:`~repro.serve.WorkerPool` (``None`` = threads).
+        self.worker_pool = None
 
     # ------------------------------------------------------------- life cycle
 
@@ -240,7 +242,23 @@ class RetrievalEngine:
 
     def _plan(self, problem: str, parameter: float, num_queries: int,
               batch_size: int | None) -> ExecutionPlan:
-        """Build the call's :class:`~repro.engine.planner.ExecutionPlan`."""
+        """Build the call's :class:`~repro.engine.planner.ExecutionPlan`.
+
+        With a :class:`~repro.serve.WorkerPool` attached
+        (:meth:`use_worker_pool`), planning targets the process backend: the
+        worker count is the pool size and the planner emits a
+        ``backend="processes"`` plan the executor routes to the pool.
+        """
+        if self.worker_pool is not None:
+            return self.planner.plan(
+                problem=problem,
+                parameter=float(parameter),
+                num_queries=int(num_queries),
+                batch_size=self._resolve_batch_size(batch_size),
+                workers=self.worker_pool.size,
+                retriever=self.retriever,
+                backend=BACKEND_PROCESSES,
+            )
         return self.planner.plan(
             problem=problem,
             parameter=float(parameter),
@@ -249,6 +267,24 @@ class RetrievalEngine:
             workers=self.workers,
             retriever=self.retriever,
         )
+
+    def use_worker_pool(self, pool) -> "RetrievalEngine":
+        """Route subsequent calls through a process :class:`~repro.serve.WorkerPool`.
+
+        While attached, every call is planned on the ``"processes"`` backend:
+        chunks are executed by worker processes that each hold a read-only
+        memory-mapping of the same persisted index, and results/stats are
+        merged in plan order — byte-identical to running the call serially in
+        this process.  Detach with :meth:`detach_worker_pool`; the engine
+        does not own the pool's lifetime (call ``pool.shutdown()`` yourself).
+        """
+        self.worker_pool = pool
+        return self
+
+    def detach_worker_pool(self) -> "RetrievalEngine":
+        """Stop routing calls to a worker pool; back to in-process execution."""
+        self.worker_pool = None
+        return self
 
     def explain(self, queries, *, theta: float | None = None, k: int | None = None,
                 batch_size: int | None = None) -> ExecutionPlan:
@@ -422,11 +458,17 @@ class RetrievalEngine:
         save_engine(self, path)
 
     @classmethod
-    def load(cls, path) -> "RetrievalEngine":
-        """Restore an engine written by :meth:`save`."""
+    def load(cls, path, *, mmap_mode: str | None = None) -> "RetrievalEngine":
+        """Restore an engine written by :meth:`save`.
+
+        ``mmap_mode="r"`` memory-maps the index arrays read-only instead of
+        copying them into the heap — N processes loading the same directory
+        then share one set of physical pages (see
+        :func:`repro.engine.persistence.load_engine`).
+        """
         from repro.engine.persistence import load_engine
 
-        return load_engine(path)
+        return load_engine(path, mmap_mode=mmap_mode)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         """Debug representation with spec and index size."""

@@ -17,12 +17,21 @@ the index arrays directly (skipping preprocessing — the point of persisting)
 or falls back to a fresh ``fit`` on the stored probes for retrievers without
 exportable state.  Either way the loaded engine answers ``row_top_k`` /
 ``above_theta`` identically to the saved one.
+
+Since format 3 the index arrays can also be **memory-mapped** instead of
+copied into RAM: ``load_engine(path, mmap_mode="r")`` maps every array of
+``index.npz`` as a read-only :class:`numpy.memmap` view straight into the
+operating system's page cache.  N processes loading the same index this way
+share one physical copy of the arrays — the foundation of the
+:class:`~repro.serve.WorkerPool` process backend (see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
 
 import json
+import struct
 import warnings
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -44,10 +53,17 @@ from repro.exceptions import NotPreparedError, PersistenceError
 #:    object (the engine's non-default cost-model knobs); purely additive,
 #:    so the format number stays 2 — readers without the planner ignore the
 #:    key, and readers with it ignore unknown knobs saved by newer versions.
-FORMAT_VERSION = 2
+#: 3. same layout, with the guarantee that every ``index.npz`` member is
+#:    written *uncompressed* (``ZIP_STORED``) so the arrays can be
+#:    memory-mapped in place (``meta["mmap_layout"]`` records it).  Purely
+#:    additive: format-2 readers load format-3 files unchanged (``np.savez``
+#:    has always produced stored members, format 3 merely promises it), and
+#:    format-1/2 indexes keep loading — eagerly, or mapped too when their
+#:    members turn out to be stored.
+FORMAT_VERSION = 3
 
 #: Format versions :func:`load_engine` accepts.
-SUPPORTED_FORMATS = (1, 2)
+SUPPORTED_FORMATS = (1, 2, 3)
 
 #: ``meta["blsh_base"]`` marker for the order-independent base semantics.
 BLSH_BASE_SEMANTICS = "per-query-theta-b"
@@ -107,6 +123,9 @@ def save_engine(engine, path) -> None:
         "num_probes": int(engine.num_probes),
         "has_state": state is not None,
         "workers": int(engine.workers),
+        # Format-3 promise: every index.npz member is ZIP_STORED, so the
+        # arrays can be memory-mapped in place (load_engine(mmap_mode="r")).
+        "mmap_layout": True,
     }
     plan_policy = engine.plan_policy.non_default_dict()
     if plan_policy:
@@ -127,10 +146,26 @@ def save_engine(engine, path) -> None:
         np.savez(handle, **arrays)
 
 
-def load_engine(path):
-    """Restore a :class:`~repro.engine.facade.RetrievalEngine` from ``path``."""
+def load_engine(path, mmap_mode: str | None = None):
+    """Restore a :class:`~repro.engine.facade.RetrievalEngine` from ``path``.
+
+    ``mmap_mode="r"`` memory-maps the index arrays instead of copying them
+    into RAM: every array of ``index.npz`` becomes a read-only
+    :class:`numpy.memmap` view backed by the OS page cache, so concurrent
+    processes loading the same index share one physical copy.  Mapped
+    engines answer queries bit-identically to eagerly loaded ones; the only
+    operations that materialise copies are incremental updates
+    (``partial_fit`` / ``remove`` rebuild the touched arrays in RAM, as they
+    do for eager loads).  Requires the index members to be stored
+    uncompressed — guaranteed from format 3 on, and true in practice for
+    every ``np.savez``-written format-1/2 index as well.
+    """
     from repro.engine.facade import RetrievalEngine
 
+    if mmap_mode not in (None, "r"):
+        raise PersistenceError(
+            f"mmap_mode must be None (eager load) or 'r' (read-only map), got {mmap_mode!r}"
+        )
     directory = Path(path)
     meta_path = directory / _META_FILE
     index_path = directory / _INDEX_FILE
@@ -146,13 +181,22 @@ def load_engine(path):
             f"this library reads formats {SUPPORTED_FORMATS}"
         )
 
-    with np.load(index_path) as data:
-        probes = data["probes"] if "probes" in data.files else None
+    if mmap_mode == "r":
+        arrays = mmap_npz_arrays(index_path)
+        probes = arrays.get("probes")
         state = {
-            key[len(_STATE_PREFIX):]: data[key]
-            for key in data.files
+            key[len(_STATE_PREFIX):]: value
+            for key, value in arrays.items()
             if key.startswith(_STATE_PREFIX)
         }
+    else:
+        with np.load(index_path) as data:
+            probes = data["probes"] if "probes" in data.files else None
+            state = {
+                key[len(_STATE_PREFIX):]: data[key]
+                for key in data.files
+                if key.startswith(_STATE_PREFIX)
+            }
 
     # Lenient knob parsing: an index saved by a newer library may carry plan
     # policy knobs this version does not know; they are dropped, not fatal.
@@ -191,6 +235,85 @@ def load_engine(path):
     else:
         raise PersistenceError(f"corrupt index in {index_path}: neither state nor probes stored")
     return engine
+
+
+#: Size of a ZIP local-file-header's fixed part (PK\x03\x04 ... extra length).
+_ZIP_LOCAL_HEADER_SIZE = 30
+
+
+def mmap_npz_arrays(path) -> dict[str, np.ndarray]:
+    """Memory-map every array of an uncompressed ``.npz`` file, zero-copy.
+
+    ``np.load`` ignores ``mmap_mode`` for ``.npz`` archives (it always reads
+    members into RAM), but ``np.savez`` stores members uncompressed
+    (``ZIP_STORED``), so each embedded ``.npy`` file occupies a contiguous
+    byte range of the archive.  This helper locates each member's array data
+    by parsing the ZIP local file headers and the ``.npy`` headers, then
+    returns read-only :class:`numpy.memmap` views keyed by member name
+    (without the ``.npy`` suffix).  Zero-size arrays are returned as ordinary
+    (empty) arrays — there is nothing to map.
+
+    Raises :class:`~repro.exceptions.PersistenceError` for archives with
+    compressed or object-dtype members (neither can be mapped in place).
+    """
+    path = Path(path)
+    try:
+        with zipfile.ZipFile(path) as archive:
+            members = archive.infolist()
+    except (zipfile.BadZipFile, OSError) as error:
+        raise PersistenceError(f"cannot map {path}: not a readable npz archive") from error
+
+    arrays: dict[str, np.ndarray] = {}
+    with open(path, "rb") as handle:
+        for member in members:
+            name = member.filename
+            if not name.endswith(".npy"):
+                continue
+            if member.compress_type != zipfile.ZIP_STORED:
+                raise PersistenceError(
+                    f"cannot map {path}: member {name!r} is compressed; "
+                    "re-save the index (format 3 stores members uncompressed)"
+                )
+            # The central directory's extra-field length can differ from the
+            # local header's, so the data offset must be read from the local
+            # header itself (header_offset + fixed part + name + extra).
+            handle.seek(member.header_offset)
+            header = handle.read(_ZIP_LOCAL_HEADER_SIZE)
+            if len(header) != _ZIP_LOCAL_HEADER_SIZE or header[:4] != b"PK\x03\x04":
+                raise PersistenceError(
+                    f"cannot map {path}: corrupt local header for member {name!r}"
+                )
+            name_length, extra_length = struct.unpack("<HH", header[26:30])
+            handle.seek(member.header_offset + _ZIP_LOCAL_HEADER_SIZE
+                        + name_length + extra_length)
+            try:
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+                else:
+                    raise PersistenceError(
+                        f"cannot map {path}: member {name!r} uses npy format "
+                        f"{version}, expected 1.0 or 2.0"
+                    )
+            except ValueError as error:
+                raise PersistenceError(
+                    f"cannot map {path}: member {name!r} has a corrupt npy header"
+                ) from error
+            if dtype.hasobject:
+                raise PersistenceError(
+                    f"cannot map {path}: member {name!r} holds Python objects"
+                )
+            key = name[: -len(".npy")]
+            if int(np.prod(shape)) == 0:
+                arrays[key] = np.zeros(shape, dtype=dtype)
+                continue
+            arrays[key] = np.memmap(
+                path, dtype=dtype, mode="r", offset=handle.tell(),
+                shape=tuple(shape), order="F" if fortran else "C",
+            )
+    return arrays
 
 
 def _is_blsh_retriever(retriever) -> bool:

@@ -50,6 +50,12 @@ PROBE_AXIS_BUCKETS = "buckets"
 #: query-row ranges within each chunk).
 PROBE_AXIS_ROWS = "rows"
 
+#: ``ExecutionPlan.backend`` values: chunks run inline on the calling thread
+#: (possibly probe-sharded), on the engine's thread pool, or on an attached
+#: :class:`~repro.serve.WorkerPool` of index-mapping processes.
+BACKEND_THREADS = "threads"
+BACKEND_PROCESSES = "processes"
+
 
 @dataclass(frozen=True)
 class PlanPolicy:
@@ -253,6 +259,15 @@ class ExecutionPlan:
     reason: str
     #: The cost model's estimates for this shape.
     estimate: CostEstimate
+    #: Which execution backend carries the chunk axis:
+    #: :data:`BACKEND_THREADS` (the engine's thread pool; also the value for
+    #: fully serial plans, whose chunk axis is degenerate) or
+    #: :data:`BACKEND_PROCESSES` (an attached
+    #: :class:`~repro.serve.WorkerPool` — every chunk is dispatched to a
+    #: worker process that memory-maps the same read-only index, the probe
+    #: axis stays off, and no warm-up chunk runs because workers carry their
+    #: own persisted-warm tuning caches).
+    backend: str = BACKEND_THREADS
 
     @property
     def num_batches(self) -> int:
@@ -273,6 +288,7 @@ class ExecutionPlan:
         lines = [
             f"plan: {self.problem}(parameter={self.parameter:g}) "
             f"over {self.num_queries} queries",
+            f"  backend       : {self.backend}",
             f"  chunks        : {self.num_batches} (batch_size={self.batch_size})",
             f"  chunk workers : {self.workers}"
             + (" (first chunk runs serially: tuning warm-up)" if self.warmup else ""),
@@ -365,11 +381,16 @@ class ExecutionPlanner:
     # ------------------------------------------------------------------- plan
 
     def plan(self, *, problem: str, parameter: float, num_queries: int,
-             batch_size: int, workers: int, retriever) -> ExecutionPlan:
+             batch_size: int, workers: int, retriever,
+             backend: str = BACKEND_THREADS) -> ExecutionPlan:
         """Build the plan for one call; pure in all of its inputs.
 
-        ``workers`` is the engine's configured thread count; the plan's
+        ``workers`` is the engine's configured thread count (or, for the
+        process backend, the attached pool's worker count); the plan's
         ``workers`` field is what the chunk axis will actually use.
+        ``backend`` selects where chunks run: :data:`BACKEND_THREADS` (the
+        default) or :data:`BACKEND_PROCESSES` when the engine has a
+        :class:`~repro.serve.WorkerPool` attached.
         """
         policy = self.policy
         chunks = tuple(
@@ -379,7 +400,9 @@ class ExecutionPlanner:
         num_probes = int(getattr(retriever, "num_probes", None) or 0)
         num_batches = len(chunks)
 
-        def build(chunk_workers: int, probe_shards: int, reason: str) -> ExecutionPlan:
+        def build(chunk_workers: int, probe_shards: int, reason: str,
+                  plan_backend: str = BACKEND_THREADS,
+                  warmup: bool | None = None) -> ExecutionPlan:
             axis, ranges = self._probe_shard_geometry(
                 retriever, problem, chunks, probe_shards
             )
@@ -393,16 +416,36 @@ class ExecutionPlanner:
                 probe_shards=probe_shards,
                 probe_axis=axis,
                 probe_shard_ranges=ranges,
-                warmup=chunk_workers > 1,
+                warmup=chunk_workers > 1 if warmup is None else warmup,
                 merge="plan-order",
                 reason=reason,
                 estimate=self._estimate(
                     num_queries, num_probes, chunks, chunk_workers, probe_shards
                 ),
+                backend=plan_backend,
             )
 
         if num_batches == 0:
             return build(1, 1, "empty call: nothing to shard")
+        if backend == BACKEND_PROCESSES:
+            # Process workers each map the same read-only index and carry
+            # their own (persisted-warm) tuning caches, so every chunk —
+            # including the first — is dispatched: there is no shared cache
+            # for a warm-up chunk to populate, and keeping the parent free
+            # is the point of the backend.  The probe axis stays off: shards
+            # would have to run inside a worker process, and one chunk per
+            # worker already saturates the pool.
+            chunk_workers = max(1, min(workers, num_batches))
+            if policy.max_chunk_workers is not None:
+                chunk_workers = min(chunk_workers, policy.max_chunk_workers)
+            return build(
+                chunk_workers, 1,
+                f"process pool: {num_batches} chunk"
+                f"{'s' if num_batches != 1 else ''} across {chunk_workers} "
+                "index-mapping worker processes",
+                plan_backend=BACKEND_PROCESSES,
+                warmup=False,
+            )
         if workers <= 1:
             return build(1, 1, "serial: engine configured with workers=1")
 

@@ -38,3 +38,24 @@ class PersistenceError(ReproError, OSError):
 
 class UnknownDatasetError(ReproError, KeyError):
     """A dataset name passed to the registry is not registered."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """Base class for errors raised by the :mod:`repro.serve` front-end."""
+
+
+class ServiceOverloadedError(ServingError):
+    """Admission control rejected a request: the pending-row queue is full.
+
+    Raised *before* a request is enqueued, so a shed request consumes no
+    solver time.  Clients should treat this as retryable backpressure.
+    """
+
+
+class RequestTimeoutError(ServingError, TimeoutError):
+    """A request's deadline elapsed before its micro-batch was solved.
+
+    The batch the request was coalesced into still runs to completion (other
+    requests in the batch may still be within deadline); only this request's
+    caller observes the timeout.
+    """

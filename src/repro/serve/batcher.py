@@ -1,0 +1,144 @@
+"""Dynamic micro-batching: coalesce compatible requests, bounded delay.
+
+The batcher implements the inference-server pattern on top of LEMP's
+batched solvers: requests that share a :class:`BatchKey` — the same problem
+and the same parameter (θ or k) — are appended to one pending group, and
+the group is flushed to the solver when either
+
+* its total row count reaches ``max_batch_rows`` (flushed *synchronously*
+  inside the submit that crossed the budget — a request is never split, so
+  a single request larger than the budget forms its own batch), or
+* ``max_wait_us`` microseconds elapse since the group's first request
+  (an event-loop timer, so a lone request is never stalled longer than the
+  configured bound).
+
+Coalescing is *correctness-free* by construction: every LEMP solve treats
+query rows independently (per-row kernel rounding, per-(query, bucket)
+counters), so a request's rows produce byte-identical results whether they
+are solved alone or stacked under a batch with arbitrary other requests.
+The batcher therefore only changes *when* work runs, never what it
+returns; see :mod:`repro.serve.engine` for the demultiplexing that relies
+on this.
+
+The batcher is an event-loop-affine object: all methods must be called
+from the loop passed at construction.  It performs no admission control of
+its own — :class:`~repro.serve.ServingEngine` bounds in-flight rows before
+requests ever reach it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Default flush budget: rows across one group before an immediate flush.
+DEFAULT_MAX_BATCH_ROWS = 256
+
+#: Default bounded delay: microseconds a group may wait for co-batchable
+#: requests before the timer flushes it.
+DEFAULT_MAX_WAIT_US = 2000
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """Compatibility key of one micro-batch: problem plus exact parameter.
+
+    Requests only coalesce when a single solver call can serve them all:
+    the same problem (``"above_theta"`` or ``"row_top_k"``) with the same
+    θ / k.  The parameter is compared exactly (no epsilon): merging nearby
+    thetas would change results, and the serving layer never trades
+    correctness for batching.
+    """
+
+    problem: str
+    parameter: float
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request waiting in (or flushed from) a group.
+
+    ``future`` resolves to the request's demultiplexed result;
+    ``rows`` is cached because admission accounting and flush budgeting
+    read it on every submit.
+    """
+
+    queries: np.ndarray
+    rows: int
+    future: asyncio.Future
+
+
+@dataclass
+class FlushRecord:
+    """Observability record of one flushed micro-batch (kept by the engine)."""
+
+    key: BatchKey
+    num_requests: int
+    num_rows: int
+    #: ``"rows"`` (budget reached), ``"timer"`` (bounded delay elapsed) or
+    #: ``"drain"`` (engine shutdown flushed the remainder).
+    reason: str
+
+
+@dataclass
+class _Group:
+    """Mutable per-key accumulation state."""
+
+    requests: list = field(default_factory=list)
+    rows: int = 0
+    timer: asyncio.TimerHandle | None = None
+
+
+class MicroBatcher:
+    """Per-key request coalescing with a row budget and a bounded delay.
+
+    ``flush(key, requests, reason)`` is the engine-provided callback that
+    takes ownership of a flushed group; it is invoked on the event loop
+    (synchronously from :meth:`submit` for budget flushes, from a timer
+    callback for delay flushes).
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, flush, *,
+                 max_batch_rows: int = DEFAULT_MAX_BATCH_ROWS,
+                 max_wait_us: int = DEFAULT_MAX_WAIT_US) -> None:
+        """Bind the batcher to a loop and a flush callback."""
+        self._loop = loop
+        self._flush_callback = flush
+        self.max_batch_rows = int(max_batch_rows)
+        self.max_wait_us = int(max_wait_us)
+        self._groups: dict[BatchKey, _Group] = {}
+
+    @property
+    def pending_rows(self) -> int:
+        """Rows currently queued (admitted, not yet flushed) across groups."""
+        return sum(group.rows for group in self._groups.values())
+
+    def submit(self, key: BatchKey, request: PendingRequest) -> None:
+        """Queue one request; may flush its group synchronously (row budget)."""
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _Group()
+        group.requests.append(request)
+        group.rows += request.rows
+        if group.rows >= self.max_batch_rows:
+            self._flush(key, "rows")
+        elif group.timer is None:
+            group.timer = self._loop.call_later(
+                self.max_wait_us / 1e6, self._flush, key, "timer"
+            )
+
+    def _flush(self, key: BatchKey, reason: str) -> None:
+        """Detach a group and hand it to the flush callback."""
+        group = self._groups.pop(key, None)
+        if group is None:  # pragma: no cover - timer raced a budget flush
+            return
+        if group.timer is not None:
+            group.timer.cancel()
+        self._flush_callback(key, group.requests, reason)
+
+    def drain(self) -> None:
+        """Flush every pending group immediately (engine shutdown)."""
+        for key in list(self._groups):
+            self._flush(key, "drain")

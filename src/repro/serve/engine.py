@@ -1,0 +1,353 @@
+"""Asyncio serving front-end: admission, coalescing, demultiplexing.
+
+:class:`ServingEngine` turns a :class:`~repro.engine.facade.RetrievalEngine`
+into a concurrent service: any number of asyncio clients call
+:meth:`~ServingEngine.above_theta` / :meth:`~ServingEngine.row_top_k`
+concurrently, compatible requests are coalesced by the
+:class:`~repro.serve.batcher.MicroBatcher` into one solver call per
+micro-batch, and each caller receives exactly the rows it submitted.
+
+The demultiplexing step is where LEMP's determinism contract pays off:
+
+* **Row-Top-k** output is in original query-row order, so request ``i``'s
+  result is the contiguous row slice ``[offset, offset + rows)`` of the
+  merged result — a pure view, byte-identical to a standalone call.
+* **Above-θ** output is bucket-major (outer loop over buckets, inner loop
+  over the batch's length-sorted queries).  Because the length sort is
+  *stable*, a request's rows keep their relative order inside any merged
+  batch, so filtering the merged result by the request's query-id range
+  (and shifting ids back to request-local rows) reproduces the standalone
+  result byte for byte.
+
+Integer work counters are per-(query, bucket) and therefore additive: the
+merged batch's :class:`~repro.core.stats.RunStats` deltas equal the sum of
+the per-request serial deltas exactly (given a warm tuning cache — the
+sample-based tuner is the one wall-clock-dependent component, so cold
+first calls are warmed or persisted, never compared).
+
+Concurrency model: all batching state lives on the event loop; the solver
+runs on a dedicated single-thread executor, which serialises engine calls
+(``RetrievalEngine`` is not safe for concurrent calls — the engine itself
+parallelises *inside* a call via its planner, including across an attached
+:class:`~repro.serve.WorkerPool`).  Admission control bounds the rows
+admitted but not yet answered; beyond the bound, requests are shed with
+:class:`~repro.exceptions.ServiceOverloadedError` before consuming any
+solver time.  Per-request deadlines raise
+:class:`~repro.exceptions.RequestTimeoutError` in the caller while the
+batch itself runs to completion for its other members.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.results import AboveThetaResult, TopKResult
+from repro.exceptions import (
+    InvalidParameterError,
+    RequestTimeoutError,
+    ServiceOverloadedError,
+)
+from repro.serve.batcher import (
+    DEFAULT_MAX_BATCH_ROWS,
+    DEFAULT_MAX_WAIT_US,
+    BatchKey,
+    FlushRecord,
+    MicroBatcher,
+    PendingRequest,
+)
+from repro.utils.validation import (
+    as_float_matrix,
+    require_positive,
+    require_positive_int,
+)
+
+#: Default admission bound: rows admitted (queued or solving) at once.
+DEFAULT_MAX_PENDING_ROWS = 4096
+
+
+def _consume_exception(future: asyncio.Future) -> None:
+    """Done-callback retrieving an abandoned future's exception, if any."""
+    if not future.cancelled():
+        future.exception()
+
+
+class ServingEngine:
+    """Concurrent asyncio facade over one :class:`~repro.engine.facade.RetrievalEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine every micro-batch is solved on.  It may itself be
+        parallel — thread workers, or a process
+        :class:`~repro.serve.WorkerPool` attached via
+        :meth:`~repro.engine.facade.RetrievalEngine.use_worker_pool` —
+        the serving layer only serialises the *calls*, not their insides.
+    max_batch_rows / max_wait_us:
+        The micro-batcher's flush budget and bounded delay (see
+        :mod:`repro.serve.batcher`).
+    max_pending_rows:
+        Admission bound on rows admitted but not yet answered.  A request
+        that would exceed it is shed with
+        :class:`~repro.exceptions.ServiceOverloadedError` — except when
+        nothing at all is in flight, so a single request larger than the
+        bound degrades to a plain serial call instead of starving forever.
+    default_timeout:
+        Per-request deadline in seconds applied when a call does not pass
+        its own ``timeout`` (``None`` = wait indefinitely).
+
+    Use as an async context manager (or call :meth:`start` /
+    :meth:`aclose` explicitly)::
+
+        async with ServingEngine(engine, max_wait_us=500) as serving:
+            results = await asyncio.gather(
+                *(serving.row_top_k(rows, 10) for rows in workload)
+            )
+    """
+
+    def __init__(self, engine, *,
+                 max_batch_rows: int = DEFAULT_MAX_BATCH_ROWS,
+                 max_wait_us: int = DEFAULT_MAX_WAIT_US,
+                 max_pending_rows: int = DEFAULT_MAX_PENDING_ROWS,
+                 default_timeout: float | None = None) -> None:
+        """Configure the front-end; no loop is touched until :meth:`start`."""
+        self.engine = engine
+        self.max_batch_rows = require_positive_int(max_batch_rows, "max_batch_rows")
+        self.max_wait_us = require_positive_int(max_wait_us, "max_wait_us")
+        self.max_pending_rows = require_positive_int(max_pending_rows, "max_pending_rows")
+        if default_timeout is not None:
+            require_positive(default_timeout, "default_timeout")
+        self.default_timeout = default_timeout
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._batcher: MicroBatcher | None = None
+        self._solver: ThreadPoolExecutor | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._inflight_rows = 0
+        #: Served-traffic counters (monotonic over the engine's lifetime).
+        self.requests_admitted = 0
+        self.requests_shed = 0
+        self.requests_timed_out = 0
+        self.rows_served = 0
+        #: One :class:`~repro.serve.batcher.FlushRecord` per flushed batch.
+        self.flushes: list[FlushRecord] = []
+
+    # ------------------------------------------------------------- life cycle
+
+    async def start(self) -> "ServingEngine":
+        """Bind to the running event loop and start the solver thread."""
+        if self._loop is not None:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._solver = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-solver"
+        )
+        self._batcher = MicroBatcher(
+            self._loop, self._on_flush,
+            max_batch_rows=self.max_batch_rows, max_wait_us=self.max_wait_us,
+        )
+        return self
+
+    async def aclose(self) -> None:
+        """Drain pending groups, wait for in-flight batches, stop the solver."""
+        if self._loop is None:
+            return
+        self._batcher.drain()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        self._solver.shutdown(wait=True)
+        self._loop = None
+        self._batcher = None
+        self._solver = None
+
+    async def __aenter__(self) -> "ServingEngine":
+        """Async context entry: :meth:`start`."""
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        """Async context exit: :meth:`aclose`."""
+        await self.aclose()
+
+    @property
+    def pending_rows(self) -> int:
+        """Rows admitted but not yet answered (queued + solving)."""
+        return self._inflight_rows
+
+    # --------------------------------------------------------------- requests
+
+    async def above_theta(self, queries, theta: float, *,
+                          timeout: float | None = None) -> AboveThetaResult:
+        """Solve Above-θ for this caller's rows (coalesced behind the scenes)."""
+        queries = as_float_matrix(queries, "queries")
+        require_positive(theta, "theta")
+        key = BatchKey("above_theta", float(theta))
+        return await self._submit(key, queries, timeout)
+
+    async def row_top_k(self, queries, k: int, *,
+                        timeout: float | None = None) -> TopKResult:
+        """Solve Row-Top-k for this caller's rows (coalesced behind the scenes)."""
+        queries = as_float_matrix(queries, "queries")
+        require_positive_int(k, "k")
+        key = BatchKey("row_top_k", float(k))
+        return await self._submit(key, queries, timeout)
+
+    async def _submit(self, key: BatchKey, queries: np.ndarray,
+                      timeout: float | None):
+        """Admit, enqueue, await one request; demuxed result or typed error."""
+        if self._loop is None:
+            raise InvalidParameterError(
+                "ServingEngine is not started; use 'async with ServingEngine(...)' "
+                "or call await serving.start() first"
+            )
+        rows = int(queries.shape[0])
+        if self._inflight_rows > 0 and self._inflight_rows + rows > self.max_pending_rows:
+            self.requests_shed += 1
+            raise ServiceOverloadedError(
+                f"request of {rows} rows shed: {self._inflight_rows} rows in "
+                f"flight against a bound of {self.max_pending_rows}"
+            )
+        future = self._loop.create_future()
+        request = PendingRequest(queries=queries, rows=rows, future=future)
+        self._inflight_rows += rows
+        self.requests_admitted += 1
+        self._batcher.submit(key, request)
+        if timeout is None:
+            timeout = self.default_timeout
+        if timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except (TimeoutError, asyncio.TimeoutError):  # distinct before 3.11
+            self.requests_timed_out += 1
+            # The batch still runs for its other members; make sure an
+            # eventual error on the abandoned future is considered retrieved.
+            future.add_done_callback(_consume_exception)
+            raise RequestTimeoutError(
+                f"request deadline of {timeout:g}s elapsed before its "
+                "micro-batch was solved"
+            ) from None
+
+    # ------------------------------------------------------- batch execution
+
+    def _on_flush(self, key: BatchKey, requests: list, reason: str) -> None:
+        """Batcher callback: record the flush and schedule the solve."""
+        self.flushes.append(
+            FlushRecord(key, len(requests), sum(r.rows for r in requests), reason)
+        )
+        task = self._loop.create_task(self._run_group(key, requests))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_group(self, key: BatchKey, requests: list) -> None:
+        """Solve one flushed group off-loop, then demultiplex to the callers."""
+        try:
+            merged = await self._loop.run_in_executor(
+                self._solver, self._solve_group, key, requests
+            )
+        except Exception as error:  # noqa: BLE001 - forwarded to every caller
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(error)
+        else:
+            self._demux(key, requests, merged)
+        finally:
+            for request in requests:
+                self._inflight_rows -= request.rows
+
+    def _solve_group(self, key: BatchKey, requests: list):
+        """Solver-thread body: one engine call over the stacked request rows."""
+        if len(requests) == 1:
+            stacked = requests[0].queries
+        else:
+            stacked = np.vstack([request.queries for request in requests])
+        if key.problem == "above_theta":
+            return self.engine.above_theta(stacked, key.parameter)
+        return self.engine.row_top_k(stacked, int(key.parameter))
+
+    def _demux(self, key: BatchKey, requests: list, merged) -> None:
+        """Split the merged result back into per-request results.
+
+        Row-Top-k demuxes by contiguous row slice; Above-θ by query-id range
+        mask with ids shifted back to request-local rows.  Both reproduce
+        the standalone per-request result byte for byte (see module
+        docstring).  Futures of callers that already gave up (cancelled)
+        are skipped.
+        """
+        offset = 0
+        for request in requests:
+            start, end = offset, offset + request.rows
+            offset = end
+            if request.future.done():
+                continue
+            if key.problem == "above_theta":
+                inside = (merged.query_ids >= start) & (merged.query_ids < end)
+                part = AboveThetaResult(
+                    merged.query_ids[inside] - start,
+                    merged.probe_ids[inside],
+                    merged.scores[inside],
+                    merged.theta,
+                )
+            else:
+                part = TopKResult(
+                    merged.indices[start:end], merged.scores[start:end], merged.k
+                )
+            self.rows_served += request.rows
+            request.future.set_result(part)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        """Debug representation with batching knobs and traffic counters."""
+        return (
+            f"ServingEngine(max_batch_rows={self.max_batch_rows}, "
+            f"max_wait_us={self.max_wait_us}, admitted={self.requests_admitted}, "
+            f"shed={self.requests_shed}, timed_out={self.requests_timed_out})"
+        )
+
+
+def serve_compatibility(engine) -> dict:
+    """What the serving layer can do with this engine's retriever.
+
+    Returns a JSON-able dict: the problems the retriever answers, whether
+    micro-batching preserves byte-identity (always true for registered
+    retrievers — per-row independence is a library-wide invariant), the
+    parallel axes available inside a batch, and whether the index can be
+    persisted in the mmap layout the process backend
+    (:class:`~repro.serve.WorkerPool`) requires.
+    """
+    from repro.engine.persistence import _overrides_restore
+
+    retriever = engine.retriever
+    problems = [
+        problem for problem in ("above_theta", "row_top_k")
+        if callable(getattr(retriever, problem, None))
+    ]
+    mmap_capable = hasattr(retriever, "index_state") and _overrides_restore(retriever)
+    return {
+        "spec": engine.spec,
+        "problems": problems,
+        "micro_batching": bool(problems),
+        "parallel_queries": bool(getattr(retriever, "supports_parallel_queries", False)),
+        "probe_sharding": bool(getattr(retriever, "supports_probe_sharding", False)),
+        "mmap_index": mmap_capable,
+        "process_backend": mmap_capable,
+        "deterministic_counters": (
+            "warm tuning cache" if getattr(retriever, "tuning_cache", None) is not None
+            else "always"
+        ),
+    }
+
+
+def describe_serve_compatibility(engine) -> str:
+    """Multi-line human rendering of :func:`serve_compatibility` (CLI)."""
+    compat = serve_compatibility(engine)
+    lines = [
+        f"serving: {compat['spec']}",
+        f"  problems         : {', '.join(compat['problems']) or 'none'}",
+        f"  micro-batching   : {'yes (byte-identical demux)' if compat['micro_batching'] else 'no'}",
+        f"  parallel queries : {'yes' if compat['parallel_queries'] else 'no'}",
+        f"  probe sharding   : {'yes' if compat['probe_sharding'] else 'no'}",
+        f"  mmap index       : {'yes' if compat['mmap_index'] else 'no (refit on load)'}",
+        f"  process backend  : {'yes' if compat['process_backend'] else 'no'}",
+        f"  counters         : deterministic ({compat['deterministic_counters']})",
+    ]
+    return "\n".join(lines)

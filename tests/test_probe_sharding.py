@@ -370,10 +370,12 @@ class TestEngineRouting:
 class TestPersistenceFormat:
     """Format-version bump carrying the new BLSH base semantics."""
 
-    def test_saved_meta_records_format_2_and_blsh_semantics(self, tmp_path):
+    def test_saved_meta_records_format_and_blsh_semantics(self, tmp_path):
+        from repro.engine.persistence import FORMAT_VERSION
+
         RetrievalEngine("lemp:BLSH", seed=0).fit(PROBES).save(tmp_path / "blsh")
         meta = json.loads((tmp_path / "blsh" / "meta.json").read_text())
-        assert meta["format"] == 2
+        assert meta["format"] == FORMAT_VERSION
         assert meta["blsh_base"] == "per-query-theta-b"
         # The legacy paper-name alias must be recognised as BLSH too.
         RetrievalEngine("LEMP-BLSH", seed=0).fit(PROBES).save(tmp_path / "alias")
@@ -381,7 +383,7 @@ class TestPersistenceFormat:
         assert meta["blsh_base"] == "per-query-theta-b"
         RetrievalEngine("lemp:LI", seed=0).fit(PROBES).save(tmp_path / "li")
         meta = json.loads((tmp_path / "li" / "meta.json").read_text())
-        assert meta["format"] == 2
+        assert meta["format"] == FORMAT_VERSION
         assert "blsh_base" not in meta
 
     @pytest.mark.parametrize("spec", ["lemp:BLSH", "LEMP-BLSH"])

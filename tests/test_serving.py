@@ -1,0 +1,437 @@
+"""Determinism and behaviour tests for the :mod:`repro.serve` subsystem.
+
+The central claims under test:
+
+* **Byte + counter equality.**  Results a concurrent, micro-batched
+  :class:`~repro.serve.ServingEngine` hands each client are byte-identical
+  to the same requests issued one at a time against a serial engine, and
+  the engine's integer work counters sum to exactly the serial totals —
+  on the in-process backend and across a 2-process memory-mapping
+  :class:`~repro.serve.WorkerPool` alike (warm tuning caches persisted
+  with the index make the counters well-defined).
+* **Flush boundaries.**  Groups flush exactly on the row budget
+  (including the 1-row degenerate case) or on the bounded-delay timer,
+  never merging incompatible (problem, parameter) keys.
+* **Admission and deadlines.**  Overload sheds with
+  :class:`~repro.exceptions.ServiceOverloadedError` before any solver
+  work; elapsed deadlines raise
+  :class:`~repro.exceptions.RequestTimeoutError` without killing the
+  batch for its other members.
+* **mmap layout.**  Format-3 indexes load as read-only memmaps
+  bit-identical to eager loads, and pre-mmap format-2 indexes keep
+  loading (regression pin for the additive format bump).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.stats import RunStats
+from repro.engine.facade import RetrievalEngine
+from repro.engine.persistence import mmap_npz_arrays
+from repro.exceptions import (
+    DimensionMismatchError,
+    InvalidParameterError,
+    PersistenceError,
+    RequestTimeoutError,
+    ServiceOverloadedError,
+    UnsupportedOperationError,
+)
+from repro.serve import ServingEngine, WorkerPool, serve_compatibility
+from tests.conftest import make_factors
+
+K = 5
+THETA = 0.5
+
+COUNTERS = (
+    "num_queries", "candidates", "results", "inner_products",
+    "buckets_examined", "buckets_pruned",
+)
+
+
+def counters(stats: RunStats) -> tuple:
+    return tuple(getattr(stats, name) for name in COUNTERS)
+
+
+def assert_topk_equal(expected, actual):
+    assert np.array_equal(expected.indices, actual.indices)
+    assert np.array_equal(expected.scores, actual.scores)
+
+
+def assert_above_equal(expected, actual):
+    assert np.array_equal(expected.query_ids, actual.query_ids)
+    assert np.array_equal(expected.probe_ids, actual.probe_ids)
+    assert np.array_equal(expected.scores, actual.scores)
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory):
+    """A saved LEMP-LI index with a warm tuning cache for (K, THETA)."""
+    probes = make_factors(300, rank=12, length_cov=1.0, seed=11)
+    queries = make_factors(64, rank=12, length_cov=1.0, seed=12)
+    engine = RetrievalEngine("lemp:LI").fit(probes)
+    engine.row_top_k(queries, K)
+    engine.above_theta(queries, THETA)
+    path = tmp_path_factory.mktemp("serving") / "index"
+    engine.save(path)
+    return path
+
+
+@pytest.fixture()
+def requests_64():
+    """64 single-client request blocks of 2 query rows each."""
+    rows = make_factors(128, rank=12, length_cov=1.0, seed=13)
+    return [rows[i * 2:(i + 1) * 2] for i in range(64)]
+
+
+def serial_baseline(index_dir, requests):
+    """Issue every request alone on a fresh warm engine; results + counters."""
+    engine = RetrievalEngine.load(index_dir)
+    topk = [engine.row_top_k(block, K) for block in requests]
+    above = [engine.above_theta(block, THETA) for block in requests]
+    return topk, above, counters(engine.stats)
+
+
+# ---------------------------------------------------------------- determinism
+
+
+def test_concurrent_serving_matches_serial_byte_for_byte(index_dir, requests_64):
+    expected_topk, expected_above, expected_counters = serial_baseline(
+        index_dir, requests_64
+    )
+
+    async def drive():
+        engine = RetrievalEngine.load(index_dir)
+        async with ServingEngine(engine, max_batch_rows=32, max_wait_us=1000) as serving:
+            topk = await asyncio.gather(
+                *(serving.row_top_k(block, K) for block in requests_64)
+            )
+            above = await asyncio.gather(
+                *(serving.above_theta(block, THETA) for block in requests_64)
+            )
+        return topk, above, counters(engine.stats), serving
+
+    topk, above, served_counters, serving = asyncio.run(drive())
+    for expected, actual in zip(expected_topk, topk):
+        assert_topk_equal(expected, actual)
+    for expected, actual in zip(expected_above, above):
+        assert_above_equal(expected, actual)
+    assert served_counters == expected_counters
+    # 64 clients were actually coalesced, not solved one by one.
+    assert serving.requests_admitted == 128
+    assert len(serving.flushes) < 128
+    assert all(record.num_requests > 1 for record in serving.flushes)
+
+
+def test_serving_over_process_pool_matches_serial(index_dir, requests_64):
+    requests = requests_64[:16]
+    expected_topk, expected_above, expected_counters = serial_baseline(
+        index_dir, requests
+    )
+
+    async def drive(engine):
+        async with ServingEngine(engine, max_batch_rows=16, max_wait_us=1000) as serving:
+            topk = await asyncio.gather(
+                *(serving.row_top_k(block, K) for block in requests)
+            )
+            above = await asyncio.gather(
+                *(serving.above_theta(block, THETA) for block in requests)
+            )
+        return topk, above
+
+    with WorkerPool(index_dir, workers=2) as pool:
+        engine = RetrievalEngine.load(index_dir, mmap_mode="r")
+        engine.use_worker_pool(pool)
+        topk, above = asyncio.run(drive(engine))
+        assert engine.history[-1].plan.backend == "processes"
+
+    for expected, actual in zip(expected_topk, topk):
+        assert_topk_equal(expected, actual)
+    for expected, actual in zip(expected_above, above):
+        assert_above_equal(expected, actual)
+    assert counters(engine.stats) == expected_counters
+
+
+def test_worker_pool_direct_calls_match_serial(index_dir, requests_64):
+    """The process backend alone (no serving layer): chunked calls match."""
+    stacked = np.vstack(requests_64[:8])
+    baseline = RetrievalEngine.load(index_dir)
+    expected_topk = baseline.row_top_k(stacked, K, batch_size=4)
+    expected_above = baseline.above_theta(stacked, THETA, batch_size=4)
+
+    with WorkerPool(index_dir, workers=2) as pool:
+        engine = RetrievalEngine.load(index_dir, mmap_mode="r")
+        engine.use_worker_pool(pool)
+        actual_topk = engine.row_top_k(stacked, K, batch_size=4)
+        actual_above = engine.above_theta(stacked, THETA, batch_size=4)
+        plan = engine.history[-1].plan
+        assert plan.backend == "processes"
+        assert plan.workers == 2
+        assert not plan.warmup
+        assert "process pool" in plan.reason
+        assert "backend       : processes" in plan.describe()
+        engine.detach_worker_pool()
+        assert engine.explain(stacked, k=K).backend == "threads"
+
+    assert_topk_equal(expected_topk, actual_topk)
+    assert_above_equal(expected_above, actual_above)
+    assert counters(engine.stats) == counters(baseline.stats)
+
+
+def test_process_plan_without_pool_is_rejected(index_dir):
+    engine = RetrievalEngine.load(index_dir)
+    engine.use_worker_pool(type("Pool", (), {"size": 2})())
+    plan = engine.explain(4, k=K)
+    engine.detach_worker_pool()
+    queries = make_factors(4, rank=12, seed=14)
+    with pytest.raises(UnsupportedOperationError, match="worker pool"):
+        list(engine._plan_executor.run(plan, queries, None))
+
+
+# ------------------------------------------------------------ flush behaviour
+
+
+def run_serving(requests, **serving_kwargs):
+    """Helper: serve blocks concurrently on a fresh engine, return the engine."""
+
+    async def drive(engine):
+        async with ServingEngine(engine, **serving_kwargs) as serving:
+            results = await asyncio.gather(
+                *(serving.row_top_k(block, K) for block in requests)
+            )
+        return results, serving
+
+    return drive
+
+
+def test_one_row_budget_makes_every_request_its_own_batch(index_dir):
+    rows = make_factors(4, rank=12, seed=15)
+    requests = [rows[i:i + 1] for i in range(4)]
+    engine = RetrievalEngine.load(index_dir)
+    results, serving = asyncio.run(run_serving(
+        requests, max_batch_rows=1, max_wait_us=50_000)(engine))
+    assert [record.reason for record in serving.flushes] == ["rows"] * 4
+    assert [record.num_requests for record in serving.flushes] == [1] * 4
+    baseline = RetrievalEngine.load(index_dir)
+    for block, actual in zip(requests, results):
+        assert_topk_equal(baseline.row_top_k(block, K), actual)
+
+
+def test_exactly_max_rows_flushes_synchronously(index_dir):
+    rows = make_factors(8, rank=12, seed=16)
+    requests = [rows[:4], rows[4:]]
+    engine = RetrievalEngine.load(index_dir)
+    _, serving = asyncio.run(run_serving(
+        requests, max_batch_rows=8, max_wait_us=60_000_000)(engine))
+    # The wait bound is far beyond the test timeout: only the row budget
+    # (reached exactly, 4 + 4 = 8) can have flushed this batch.
+    assert [record.reason for record in serving.flushes] == ["rows"]
+    assert serving.flushes[0].num_rows == 8
+    assert serving.flushes[0].num_requests == 2
+
+
+def test_timer_flushes_a_lone_underfull_request(index_dir):
+    rows = make_factors(2, rank=12, seed=17)
+    engine = RetrievalEngine.load(index_dir)
+    _, serving = asyncio.run(run_serving(
+        [rows], max_batch_rows=1024, max_wait_us=500)(engine))
+    assert [record.reason for record in serving.flushes] == ["timer"]
+    assert serving.flushes[0].num_rows == 2
+
+
+def test_incompatible_parameters_never_coalesce(index_dir):
+    rows = make_factors(4, rank=12, seed=18)
+
+    async def drive(engine):
+        async with ServingEngine(engine, max_batch_rows=64, max_wait_us=500) as serving:
+            await asyncio.gather(
+                serving.row_top_k(rows[:2], K),
+                serving.row_top_k(rows[2:], K + 1),
+                serving.above_theta(rows[:2], THETA),
+            )
+            return serving
+
+    serving = asyncio.run(drive(RetrievalEngine.load(index_dir)))
+    keys = {(record.key.problem, record.key.parameter) for record in serving.flushes}
+    assert len(serving.flushes) == 3
+    assert keys == {
+        ("row_top_k", float(K)), ("row_top_k", float(K + 1)),
+        ("above_theta", THETA),
+    }
+
+
+# ------------------------------------------------- admission, deadlines, errors
+
+
+def slow_solver(serving, delay):
+    """Wrap the serving engine's solver body with a fixed sleep."""
+    original = serving._solve_group
+
+    def solve(key, requests):
+        time.sleep(delay)
+        return original(key, requests)
+
+    serving._solve_group = solve
+
+
+def test_overload_sheds_with_typed_error(index_dir):
+    rows = make_factors(8, rank=12, seed=19)
+
+    async def drive(engine):
+        async with ServingEngine(
+            engine, max_batch_rows=4, max_wait_us=500, max_pending_rows=4
+        ) as serving:
+            slow_solver(serving, 0.05)
+            first = asyncio.ensure_future(serving.row_top_k(rows[:4], K))
+            await asyncio.sleep(0)  # first request admitted and solving
+            with pytest.raises(ServiceOverloadedError, match="shed"):
+                await serving.row_top_k(rows[4:6], K)
+            await first
+            return serving
+
+    serving = asyncio.run(drive(RetrievalEngine.load(index_dir)))
+    assert serving.requests_shed == 1
+    assert serving.requests_admitted == 1
+
+
+def test_oversized_request_is_admitted_when_idle(index_dir):
+    rows = make_factors(8, rank=12, seed=20)
+
+    async def drive(engine):
+        async with ServingEngine(
+            engine, max_batch_rows=4, max_wait_us=500, max_pending_rows=2
+        ) as serving:
+            return await serving.row_top_k(rows, K)
+
+    result = asyncio.run(drive(RetrievalEngine.load(index_dir)))
+    assert result.indices.shape == (8, K)
+
+
+def test_deadline_raises_timeout_but_batch_completes(index_dir):
+    rows = make_factors(4, rank=12, seed=21)
+
+    async def drive(engine):
+        async with ServingEngine(engine, max_batch_rows=2, max_wait_us=500) as serving:
+            slow_solver(serving, 0.1)
+            with pytest.raises(RequestTimeoutError, match="deadline"):
+                await serving.row_top_k(rows[:2], K, timeout=0.01)
+            # The batch itself still ran to completion during aclose();
+            # a subsequent request on the same engine works normally.
+            late = await serving.row_top_k(rows[2:], K)
+            return late, serving
+
+    late, serving = asyncio.run(drive(RetrievalEngine.load(index_dir)))
+    assert serving.requests_timed_out == 1
+    assert late.indices.shape == (2, K)
+
+
+def test_solver_errors_reach_the_caller(index_dir):
+    bad_rank = make_factors(2, rank=7, seed=22)
+
+    async def drive(engine):
+        async with ServingEngine(engine, max_batch_rows=2, max_wait_us=500) as serving:
+            await serving.row_top_k(bad_rank, K)
+
+    with pytest.raises(DimensionMismatchError):
+        asyncio.run(drive(RetrievalEngine.load(index_dir)))
+
+
+def test_unstarted_serving_engine_rejects_requests(index_dir):
+    serving = ServingEngine(RetrievalEngine.load(index_dir))
+    with pytest.raises(InvalidParameterError, match="not started"):
+        asyncio.run(serving.row_top_k(make_factors(2, rank=12, seed=23), K))
+
+
+# ----------------------------------------------------------------- mmap layout
+
+
+def test_mmap_reload_is_bit_identical_and_actually_mapped(index_dir):
+    queries = make_factors(32, rank=12, seed=24)
+    eager = RetrievalEngine.load(index_dir)
+    mapped = RetrievalEngine.load(index_dir, mmap_mode="r")
+    assert_topk_equal(eager.row_top_k(queries, K), mapped.row_top_k(queries, K))
+    assert_above_equal(
+        eager.above_theta(queries, THETA), mapped.above_theta(queries, THETA)
+    )
+    assert counters(eager.stats) == counters(mapped.stats)
+
+    arrays = mmap_npz_arrays(index_dir / "index.npz")
+    assert any(
+        isinstance(array, np.memmap) for array in arrays.values() if array.size
+    )
+    for array in arrays.values():
+        if isinstance(array, np.memmap):
+            assert not array.flags.writeable
+
+
+def test_format_2_indexes_still_load(index_dir, tmp_path):
+    legacy = tmp_path / "legacy"
+    legacy.mkdir()
+    (legacy / "index.npz").write_bytes((index_dir / "index.npz").read_bytes())
+    meta = json.loads((index_dir / "meta.json").read_text())
+    assert meta["format"] == 3
+    meta["format"] = 2
+    del meta["mmap_layout"]
+    (legacy / "meta.json").write_text(json.dumps(meta))
+
+    queries = make_factors(16, rank=12, seed=25)
+    current = RetrievalEngine.load(index_dir)
+    old_eager = RetrievalEngine.load(legacy)
+    assert_topk_equal(current.row_top_k(queries, K), old_eager.row_top_k(queries, K))
+    # np.savez always wrote stored members, so even pre-format-3 indexes map.
+    old_mapped = RetrievalEngine.load(legacy, mmap_mode="r")
+    assert_topk_equal(current.row_top_k(queries, K), old_mapped.row_top_k(queries, K))
+
+
+def test_invalid_mmap_mode_is_rejected(index_dir):
+    with pytest.raises(PersistenceError, match="mmap_mode"):
+        RetrievalEngine.load(index_dir, mmap_mode="r+")
+
+
+def test_worker_pool_requires_a_saved_index(tmp_path):
+    with pytest.raises(PersistenceError, match="meta.json"):
+        WorkerPool(tmp_path / "nowhere", workers=2)
+
+
+# -------------------------------------------------------------- compatibility
+
+
+def test_serve_compatibility_reports_lemp_features(index_dir):
+    compat = serve_compatibility(RetrievalEngine.load(index_dir))
+    assert compat["problems"] == ["above_theta", "row_top_k"]
+    assert compat["micro_batching"] is True
+    assert compat["mmap_index"] is True
+    assert compat["process_backend"] is True
+    assert compat["deterministic_counters"] == "warm tuning cache"
+
+
+def test_cli_serve_reports_latency_stats(index_dir):
+    from repro.cli import main
+
+    buffer = io.StringIO()
+    code = main(
+        ["serve", "--index", str(index_dir), "--clients", "4", "--requests", "2",
+         "--rows", "2", "--max-wait-us", "500"],
+        out=buffer,
+    )
+    output = buffer.getvalue()
+    assert code == 0
+    assert "latency p50 (ms)" in output
+    assert "batches flushed" in output
+
+
+def test_cli_explain_prints_serve_compatibility():
+    from repro.cli import main
+
+    buffer = io.StringIO()
+    code = main(["explain", "--dataset", "netflix", "--k", "10"], out=buffer)
+    output = buffer.getvalue()
+    assert code == 0
+    assert "micro-batching   : yes (byte-identical demux)" in output
+    assert "process backend  : yes" in output
