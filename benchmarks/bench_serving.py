@@ -72,6 +72,14 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="timed repeats per level (best is kept)")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="required 64-client speedup over the serial loop")
+    parser.add_argument("--screen-dtype", default=None,
+                        help="serve through a quantized screening tier "
+                             "(f32/f16/int8); the byte-equality gate then also "
+                             "certifies the screened serving path")
+    parser.add_argument("--mmap-index", action="store_true",
+                        help="save the fitted index and serve from a read-only "
+                             "memory-mapped reload — the WorkerPool deployment "
+                             "shape, with the screening tier mapped from disk")
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
     parser.add_argument("--output", type=Path, default=Path("BENCH_serving.json"),
                         help="JSON report path")
@@ -139,9 +147,19 @@ def run_bench(args: argparse.Namespace) -> dict:
         for index in range(args.requests)
     ]
 
+    spec = "lemp:LI" + (f"/{args.screen_dtype}" if args.screen_dtype else "")
     engine = RetrievalEngine(
-        "lemp:LI", seed=args.seed, max_bucket_size=args.max_bucket_size
+        spec, seed=args.seed, max_bucket_size=args.max_bucket_size
     ).fit(probes)
+    if args.mmap_index:
+        # Serve from a read-only mapped reload of the just-fitted index — the
+        # shape a WorkerPool deployment runs in, with the (possibly quantized)
+        # index arrays paged in from disk instead of copied into RAM.
+        import tempfile
+
+        index_dir = Path(tempfile.mkdtemp(prefix="bench_serving_idx_")) / "index"
+        engine.save(index_dir)
+        engine = RetrievalEngine.load(index_dir, mmap_mode="r")
     engine.above_theta(queries, args.theta)  # warm: tunes once, shared by every sweep
 
     # Serial-loop baseline: the same requests, one engine call each.
@@ -216,6 +234,12 @@ def run_bench(args: argparse.Namespace) -> dict:
             "detail": "the top concurrency level must actually coalesce requests",
         },
     }
+    if args.screen_dtype:
+        checks["screening_active"] = {
+            "passed": engine.stats.screen_products > 0,
+            "screen_products": int(engine.stats.screen_products),
+            "detail": "the screened serving path must actually pre-filter candidates",
+        }
 
     return {
         "benchmark": "bench_serving",
@@ -227,6 +251,7 @@ def run_bench(args: argparse.Namespace) -> dict:
             "max_bucket_size": args.max_bucket_size,
             "requests": args.requests, "rows": args.rows, "seed": args.seed,
             "max_batch_rows": args.max_batch_rows, "max_wait_us": args.max_wait_us,
+            "screen_dtype": args.screen_dtype, "mmap_index": args.mmap_index,
         },
         "serial_loop": {
             "wall_seconds": round(best_serial, 5),

@@ -1,4 +1,4 @@
-"""CI smoke benchmark: kernel, parallel, probe-shard and combined-axis gates.
+"""CI smoke benchmark: kernel, parallel, probe-shard, screening and combined-axis gates.
 
 Runs a tiny synthetic Row-Top-k / Above-θ workload through the
 :class:`~repro.engine.facade.RetrievalEngine` four ways — serial vs.
@@ -16,6 +16,11 @@ The script exits non-zero (failing the CI ``bench-smoke`` job) when any of
   run's cumulative counters drift from the serial run's, or
 * the probe-sharded warm single-query path drifts from serial (bytes or
   counters) or regresses beyond ``--margin`` against the serial sweep, or
+* the f16 quantized screening tier, toggled on the warm probe-gate engine,
+  is not byte-identical to the exact path, breaks the
+  ``survivors + dropped == unscreened inner products`` counter split, fails
+  to reduce the modelled verification bytes, or regresses beyond
+  ``--margin``, or
 * the combined-axis plan does not actually use both axes, its explained
   plan differs from the recorded one, its results/counters drift from
   serial, or the warm combined workload regresses beyond ``--margin``.
@@ -254,6 +259,86 @@ def run_smoke(args: argparse.Namespace) -> dict:
         ),
     }
 
+    # Screening gate: the same warm probe-gate engine with a quantized f16
+    # screening tier toggled on (workers=1 both sides, so tuning and shard
+    # plans are shared).  The screened sweep must return byte-identical
+    # results, scan fewer modelled verification bytes (f16 reads for every
+    # screened candidate + f64 reads for survivors, vs f64 reads for every
+    # candidate), keep the counter split exact, and stay inside the
+    # wall-clock margin — screening may not slow the exact path down.
+    probe_engine.workers = 1
+    before = counter_snapshot(probe_engine)
+    unscreened_results = single_sweep()
+    unscreened_deltas = counter_delta(probe_engine, before)
+
+    probe_engine.screen_dtype = "f16"
+    single_sweep()  # warm-up: builds and caches the f16 tier
+    best_unscreened = best_screened = float("inf")
+    for _ in range(max(args.repeats, 5)):
+        probe_engine.screen_dtype = None
+        started = time.perf_counter()
+        single_sweep()
+        best_unscreened = min(best_unscreened, time.perf_counter() - started)
+        probe_engine.screen_dtype = "f16"
+        started = time.perf_counter()
+        single_sweep()
+        best_screened = min(best_screened, time.perf_counter() - started)
+    timings["single_query_unscreened"] = best_unscreened
+    timings["single_query_screened_f16"] = best_screened
+
+    before = counter_snapshot(probe_engine)
+    screen_before = (probe_engine.stats.screen_products, probe_engine.stats.screen_dropped)
+    screened_results = single_sweep()
+    screened_deltas = counter_delta(probe_engine, before)
+    screen_products = probe_engine.stats.screen_products - screen_before[0]
+    screen_dropped = probe_engine.stats.screen_dropped - screen_before[1]
+    probe_engine.screen_dtype = None
+
+    screened_identical = all(
+        np.array_equal(expected.query_ids, observed.query_ids)
+        and np.array_equal(expected.probe_ids, observed.probe_ids)
+        and np.array_equal(expected.scores, observed.scores)
+        for expected, observed in zip(unscreened_results, screened_results)
+    )
+    # inner_products is *meant* to shrink under screening; every other
+    # counter must match, and the split must account for each dropped one.
+    screen_drift = {
+        name: {"unscreened": unscreened_deltas[name], "screened": screened_deltas[name]}
+        for name in COUNTERS
+        if name != "inner_products" and unscreened_deltas[name] != screened_deltas[name]
+    }
+    split_exact = (
+        screened_deltas["inner_products"] + screen_dropped
+        == unscreened_deltas["inner_products"]
+    )
+    bytes_unscreened = unscreened_deltas["inner_products"] * args.rank * 8
+    bytes_screened = (
+        screened_deltas["inner_products"] * args.rank * 8
+        + screen_products * args.rank * 2
+    )
+    screen_ratio = timings["single_query_screened_f16"] / timings["single_query_unscreened"]
+    checks["screening_gate"] = {
+        "passed": (
+            screened_identical and not screen_drift and split_exact
+            and screen_products > 0 and screen_dropped > 0
+            and bytes_screened < bytes_unscreened
+            and screen_ratio <= args.margin
+        ),
+        "results_byte_identical": screened_identical,
+        "counter_drift": screen_drift,
+        "counter_split_exact": split_exact,
+        "screen_products": screen_products,
+        "screen_dropped": screen_dropped,
+        "modelled_bytes_scanned_ratio": round(bytes_screened / max(bytes_unscreened, 1), 4),
+        "screened_over_unscreened_time_ratio": round(screen_ratio, 4),
+        "margin": args.margin,
+        "detail": (
+            "f16 screening on the warm probe-gate index must match the exact "
+            "path byte-for-byte, scan fewer modelled bytes, and not regress "
+            "beyond the margin"
+        ),
+    }
+
     # Combined-axis gate: the same warm blocked engine runs a workload whose
     # chunk count leaves spare workers, so the planner composes both axes
     # (e.g. 3 chunks on 4 workers -> 2 chunk workers x 2 probe shards).  The
@@ -343,6 +428,9 @@ def run_smoke(args: argparse.Namespace) -> dict:
         ),
         "combined_axis_speedup_over_serial": round(
             timings["combined_serial"] / timings["combined_sharded"], 3
+        ),
+        "screening_speedup_over_unscreened": round(
+            timings["single_query_unscreened"] / timings["single_query_screened_f16"], 3
         ),
         "checks": checks,
         "passed": all(check["passed"] for check in checks.values()),

@@ -61,7 +61,7 @@ from repro.exceptions import (
     UnsupportedOperationError,
 )
 
-__version__ = "2.4.0"
+__version__ = "2.5.0"
 
 __all__ = [
     "ALGORITHMS",

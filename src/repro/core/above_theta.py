@@ -38,11 +38,21 @@ def solve_above_theta(
     theta: float,
     selector: RetrieverSelector,
     stats: RunStats,
+    screen=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Retrieve all (query, probe) pairs with inner product at least ``theta``.
 
     Returns three parallel arrays: original query ids, original probe ids and
     exact scores.
+
+    ``screen`` is an optional :class:`~repro.core.screening.ScreenTier`: the
+    generated candidates are pre-filtered with compressed dot products, and
+    a candidate is dropped only when even its approximate score *plus* the
+    tier's error bound cannot reach ``theta`` — so every true result
+    survives, and the surviving candidates are verified by the exact kernel
+    whose per-row bits are independent of the candidate set.  Screened
+    results are therefore byte-identical to unscreened ones; only the
+    ``inner_products`` / ``screen_*`` counters change.
     """
     out_query_ids: list[np.ndarray] = []
     out_probe_ids: list[np.ndarray] = []
@@ -71,6 +81,18 @@ def solve_above_theta(
             stats.candidates += int(candidates.size)
             if candidates.size == 0:
                 continue
+            if screen is not None:
+                upper = screen.upper_cosines(bucket.start, candidates, query_direction)
+                stats.screen_products += int(candidates.size)
+                # The exact score is cos * ||q|| * ||p||; both norms are
+                # non-negative, so the screened upper bound on the cosine
+                # scales to an upper bound on the score and the keep-test
+                # below mirrors the exact one (including its slack).
+                keep = upper * (query_norm * bucket_lengths[candidates]) >= theta - _VERIFY_SLACK
+                stats.screen_dropped += int(candidates.size - np.count_nonzero(keep))
+                candidates = candidates[keep]
+                if candidates.size == 0:
+                    continue
             # The kernel keeps each row's rounding independent of the
             # candidate-set size, so scores are bit-identical across different
             # tuning outcomes, incremental updates, and index reloads.

@@ -210,6 +210,13 @@ def _blocked_gather(matrix: np.ndarray, rows: np.ndarray, query: np.ndarray) -> 
     everything up to :data:`BLOCK_ROWS` candidates.
     """
     rows = np.asarray(rows)
+    if rows.dtype.kind not in "iu":
+        # Non-integer index arrays must behave exactly like ``matrix[rows]``
+        # under the einsum kernel: boolean masks select rows, anything else
+        # raises IndexError.  The fast path below would instead funnel them
+        # through the intp index scratch — silently *truncating* float
+        # indices in the padding branch and reading rows 0/1 for booleans.
+        return _blocked_matvec(matrix[rows], query)
     count = int(rows.shape[0])
     if (
         count == 0

@@ -42,6 +42,7 @@ from repro.core.retrievers import (
 )
 from repro.core.retrievers.blsh import INDEX_KEY as BLSH_INDEX_KEY
 from repro.core.retrievers.l2ap import INDEX_KEY as L2AP_INDEX_KEY
+from repro.core.screening import ScreenTier, validate_screen_dtype
 from repro.core.selector import DEFAULT_PHI, FixedSelector, PerBucketSelector
 from repro.core.stats import RunStats
 from repro.core.top_k import solve_row_top_k
@@ -108,7 +109,8 @@ def plan_shard_ranges(weights, shards: int) -> list[tuple[int, int]]:
 
 
 @register_retriever(
-    "lemp", variant_kw="algorithm", variants=ALGORITHMS, default_variant="LI"
+    "lemp", variant_kw="algorithm", variants=ALGORITHMS, default_variant="LI",
+    suffix_kw="screen_dtype", suffixes=("f32", "f16", "int8"),
 )
 class Lemp(Retriever):
     """LEMP retriever over a fixed probe matrix.
@@ -135,6 +137,16 @@ class Lemp(Retriever):
         disabling restores the tune-per-call behaviour.  Results are
         identical either way for the exact algorithms — tuning only steers
         candidate generation, and candidates are verified exactly.
+    screen_dtype:
+        Optional quantized screening tier (``"f32"``, ``"f16"``, or
+        ``"int8"``; also available as a spec suffix, e.g. ``"lemp:LI/f16"``).
+        Candidates are pre-filtered with compressed dot products against a
+        conservatively widened threshold before exact verification, so
+        results stay byte-identical to ``screen_dtype=None`` while the hot
+        loop reads 2–8x fewer bytes per screened-out candidate (see
+        :mod:`repro.core.screening`).  The attribute is plain and may be
+        reassigned between calls — the tier is built lazily on first use and
+        kept in sync by ``partial_fit`` / ``remove``.
     """
 
     def __init__(
@@ -149,6 +161,7 @@ class Lemp(Retriever):
         phi_grid=DEFAULT_PHI_GRID,
         seed: int = 0,
         tune_cache: bool = True,
+        screen_dtype: str | None = None,
     ) -> None:
         super().__init__()
         algorithm = str(algorithm).upper()
@@ -165,6 +178,7 @@ class Lemp(Retriever):
         self.tune_sample = tune_sample
         self.phi_grid = tuple(phi_grid)
         self.seed = seed
+        self.screen_dtype = validate_screen_dtype(screen_dtype)
         self.name = f"LEMP-{algorithm}"
         self.store: VectorStore | None = None
         self.buckets: list = []
@@ -245,6 +259,7 @@ class Lemp(Retriever):
             "phi_grid": list(self.phi_grid),
             "seed": self.seed,
             "tune_cache": self.tuning_cache.enabled,
+            "screen_dtype": self.screen_dtype,
         }
 
     # -------------------------------------------------- incremental maintenance
@@ -352,9 +367,14 @@ class Lemp(Retriever):
     # ------------------------------------------------------------- persistence
 
     def index_state(self) -> dict[str, np.ndarray]:
-        """Export the fitted length-sorted store, bucket boundaries and epochs."""
+        """Export the fitted length-sorted store, bucket boundaries and epochs.
+
+        With an active ``screen_dtype`` the compressed screening tier is
+        exported too (building it now if no query has forced it yet), so a
+        reloaded — or memory-mapped — index screens without re-quantizing.
+        """
         self._require_fitted()
-        return {
+        state = {
             "ids": self.store.ids,
             "lengths": self.store.lengths,
             "directions": self.store.directions,
@@ -363,6 +383,9 @@ class Lemp(Retriever):
                                         dtype=np.int64),
             "epoch": np.asarray(self._epoch, dtype=np.int64),
         }
+        if self.screen_dtype is not None:
+            state.update(self.store.screen_tier(self.screen_dtype).state_arrays())
+        return state
 
     def restore_index(self, probes, state) -> "Lemp":
         """Rebuild the index from :meth:`index_state` arrays without refitting.
@@ -382,6 +405,18 @@ class Lemp(Retriever):
             for index, (start, end) in enumerate(zip(bounds[:-1], bounds[1:]))
         ]
         self._epoch = int(state["epoch"]) if "epoch" in state else int(epochs.max(initial=0))
+        if self.screen_dtype is not None and "screen_data" in state:
+            # Validated restore: a corrupt tier raises ScreeningError here,
+            # at load time, instead of producing NaN bounds at query time.
+            # (A format-3 index has no tier arrays; the tier is then simply
+            # rebuilt lazily on first screened query.)
+            self.store.set_screen_tier(ScreenTier.from_state(
+                self.screen_dtype,
+                state["screen_data"],
+                state.get("screen_scale"),
+                state.get("screen_offset"),
+                expected_shape=self.store.directions.shape,
+            ))
         self.tuning_cache.clear()
         self._fitted = True
         return self
@@ -553,8 +588,24 @@ class Lemp(Retriever):
                 return gather(pool)
         return gather(executor)
 
+    def _screen_tier(self) -> ScreenTier | None:
+        """The active screening tier, or ``None`` when screening is off.
+
+        The first call after a (re)fit builds the compressed copy; the build
+        is timed into ``preprocessing_seconds`` (it is index preparation, not
+        retrieval).  The tier lives on the :class:`VectorStore`, so engine
+        worker views — which share the store — share one tier, and incremental
+        updates patch it in place.
+        """
+        if self.screen_dtype is None:
+            return None
+        with Timer() as timer:
+            tier = self.store.screen_tier(self.screen_dtype)
+        self.stats.preprocessing_seconds += timer.elapsed
+        return tier
+
     def _probe_above_theta(self, prepared, theta: float, selector,
-                           probe_shards: int, executor):
+                           probe_shards: int, executor, screen=None):
         """Run the Above-θ probe, bucket-range sharded when asked.
 
         The eligible bucket list is cut into contiguous ranges balanced by
@@ -569,11 +620,13 @@ class Lemp(Retriever):
         buckets = self._visitation_buckets()
         ranges = plan_shard_ranges([bucket.size for bucket in buckets], probe_shards)
         if len(ranges) <= 1:
-            return solve_above_theta(prepared, buckets, theta, selector, self.stats)
+            return solve_above_theta(prepared, buckets, theta, selector, self.stats,
+                                     screen=screen)
         shard_stats = [RunStats() for _ in ranges]
         tasks = [
             (lambda span=span, stats=stats: solve_above_theta(
-                prepared, buckets[span[0]:span[1]], theta, selector, stats))
+                prepared, buckets[span[0]:span[1]], theta, selector, stats,
+                screen=screen))
             for span, stats in zip(ranges, shard_stats)
         ]
         outputs = self._run_probe_shards(tasks, executor)
@@ -586,7 +639,7 @@ class Lemp(Retriever):
         )
 
     def _probe_row_top_k(self, prepared, k: int, selector,
-                         probe_shards: int, executor):
+                         probe_shards: int, executor, screen=None):
         """Run the Row-Top-k probe, query-row sharded when asked.
 
         Row-Top-k's bucket walk is inherently sequential *within* a query —
@@ -612,14 +665,16 @@ class Lemp(Retriever):
             if prepared.size > 1 else []
         )
         if len(ranges) <= 1:
-            return solve_row_top_k(prepared, self.buckets, k, selector, self.stats)
+            return solve_row_top_k(prepared, self.buckets, k, selector, self.stats,
+                                   screen=screen)
         indices = np.full((prepared.size, k), -1, dtype=np.int64)
         scores = np.full((prepared.size, k), -np.inf)
         shard_stats = [RunStats() for _ in ranges]
         tasks = [
             (lambda span=span, stats=stats: solve_row_top_k(
                 prepared, self.buckets, k, selector, stats,
-                positions=range(span[0], span[1]), out=(indices, scores)))
+                positions=range(span[0], span[1]), out=(indices, scores),
+                screen=screen))
             for span, stats in zip(ranges, shard_stats)
         ]
         self._run_probe_shards(tasks, executor)
@@ -653,9 +708,11 @@ class Lemp(Retriever):
             prepared, query_thetas, problem="above_theta", parameter=float(theta)
         )
 
+        screen = self._screen_tier()
         with Timer() as timer:
             query_ids, probe_ids, scores = self._probe_above_theta(
-                prepared, float(theta), selector, probe_shards, executor
+                prepared, float(theta), selector, probe_shards, executor,
+                screen=screen,
             )
         self.stats.retrieval_seconds += timer.elapsed
         self.stats.num_queries += prepared.size
@@ -685,9 +742,10 @@ class Lemp(Retriever):
             prepared, query_thetas, problem="row_top_k", parameter=float(k)
         )
 
+        screen = self._screen_tier()
         with Timer() as timer:
             indices, scores = self._probe_row_top_k(
-                prepared, k, selector, probe_shards, executor
+                prepared, k, selector, probe_shards, executor, screen=screen
             )
         self.stats.retrieval_seconds += timer.elapsed
         self.stats.num_queries += prepared.size
@@ -715,6 +773,7 @@ class Lemp(Retriever):
             phi_grid=self.phi_grid,
             seed=self.seed,
             tune_cache=self.tuning_cache.enabled,
+            screen_dtype=self.screen_dtype,
         ).fit(queries)
         probes = self.store.vectors()[np.argsort(self.store.ids)]
         result = swapped.row_top_k(probes, k)

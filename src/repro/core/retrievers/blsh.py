@@ -19,6 +19,12 @@ approximate method in the family.  The signatures themselves do not depend on
 any threshold, so they are built once per bucket (seeded by the bucket
 ordinal) and reused across calls, worker views, and probe shards — a racing
 double-build produces bit-identical content.
+
+Signatures and LENGTH candidate generation both read the exact f64
+directions even when a quantized screening tier
+(:mod:`repro.core.screening`) is active: ``screen_dtype`` only gates the
+verification of already-generated candidates, so LEMP-BLSH's candidate set
+(and its false-negative behaviour) is identical with and without screening.
 """
 
 from __future__ import annotations

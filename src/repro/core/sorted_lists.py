@@ -5,6 +5,12 @@ ordered by their value ``p̄_f`` (paper Fig. 4c), so that the feasible region
 ``[L_f, U_f]`` of a query translates into a contiguous *scan range* found by
 two binary searches.  The lists are stored as two ``(rank, size)`` arrays
 (values and local identifiers), i.e. column-wise as recommended in Appendix A.
+
+The lists are always built from the exact f64 directions, even when a
+quantized screening tier (:mod:`repro.core.screening`) is active: candidate
+*generation* stays full-precision so the candidate set — and every counter
+derived from it — is independent of ``screen_dtype``; only the verification
+step downstream consults the compressed tier.
 """
 
 from __future__ import annotations

@@ -28,6 +28,7 @@ def solve_row_top_k(
     stats: RunStats,
     positions=None,
     out: tuple[np.ndarray, np.ndarray] | None = None,
+    screen=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Retrieve the k largest inner products for every query row.
 
@@ -46,6 +47,13 @@ def solve_row_top_k(
     bucket j's candidate set depends on the scores verified in buckets
     ``< j`` — which is why probe shards partition query rows here, unlike the
     bucket-range shards of :func:`~repro.core.above_theta.solve_above_theta`.
+
+    ``screen`` is an optional :class:`~repro.core.screening.ScreenTier`
+    pre-filtering candidates against the running θ′: a candidate is dropped
+    only when its compressed score plus the tier's error bound falls
+    *strictly below* θ′ — its exact score then cannot enter (or tie into)
+    the current top-k, so the surviving verified scores, the θ′ walk, and
+    the final results are byte-identical to the unscreened solve.
     """
     num_probes = sum(bucket.size for bucket in buckets)
     effective_k = min(k, num_probes)
@@ -81,6 +89,18 @@ def solve_row_top_k(
             stats.candidates += int(candidates.size)
             if candidates.size == 0:
                 continue
+            if screen is not None and np.isfinite(theta_prime):
+                upper = screen.upper_cosines(bucket.start, candidates, query_direction)
+                stats.screen_products += int(candidates.size)
+                # Keep on >=: a candidate whose exact score ties θ′ may
+                # displace an equal-scoring entry, so only a *strict* upper
+                # bound below θ′ may drop (the exact score is then strictly
+                # below every kept top-k entry and cannot affect the merge).
+                keep = upper * bucket.lengths[candidates] >= theta_prime
+                stats.screen_dropped += int(candidates.size - np.count_nonzero(keep))
+                candidates = candidates[keep]
+                if candidates.size == 0:
+                    continue
             # The kernel keeps each row's rounding independent of the
             # candidate-set size; see the matching comment in above_theta.py.
             cosines = gather_matvec(bucket.directions, candidates, query_direction)
@@ -91,6 +111,18 @@ def solve_row_top_k(
             merged_ids = np.concatenate([top_ids, bucket.ids[candidates].astype(np.int64)])
             if merged_scores.size > effective_k:
                 keep = np.argpartition(-merged_scores, effective_k - 1)[:effective_k]
+                kept_scores = merged_scores[keep]
+                # Ties at the k-th score: argpartition's choice among equal
+                # values depends on the whole merged array, which would make
+                # the kept *ids* depend on how many below-threshold
+                # candidates happen to be present (tuning outcomes, the
+                # screening tier).  Detect the rare boundary tie and
+                # re-select deterministically by (score desc, id asc), so the
+                # kept set is a pure function of the (score, id) pairs.
+                boundary = kept_scores.min()
+                if (np.count_nonzero(merged_scores == boundary)
+                        > np.count_nonzero(kept_scores == boundary)):
+                    keep = np.lexsort((merged_ids, -merged_scores))[:effective_k]
                 merged_scores = merged_scores[keep]
                 merged_ids = merged_ids[keep]
             top_scores = merged_scores
@@ -99,7 +131,9 @@ def solve_row_top_k(
                 theta_prime = float(top_scores.min())
 
         if top_scores.size:
-            order = np.argsort(-top_scores, kind="stable")
+            # Rank by (score desc, id asc): deterministic for tied scores
+            # regardless of the insertion order the bucket walk produced.
+            order = np.lexsort((top_ids, -top_scores))
             count = min(effective_k, order.size)
             indices[original_id, :count] = top_ids[order[:count]]
             # Ranking was computed against the normalised query (Section 4.5);

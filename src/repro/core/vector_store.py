@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.screening import ScreenTier, validate_screen_dtype
 from repro.exceptions import DimensionMismatchError
 from repro.utils.validation import as_float_matrix
 
@@ -48,6 +49,9 @@ class VectorStore:
         self.directions = np.ascontiguousarray(sorted_vectors / safe_lengths[:, None])
         self.rank = matrix.shape[1]
         self.size = matrix.shape[0]
+        #: Lazily built compressed copies of :attr:`directions`, keyed by
+        #: screen dtype name (see :mod:`repro.core.screening`).
+        self._screen_tiers: dict[str, ScreenTier] = {}
 
     @classmethod
     def from_state(cls, ids, lengths, directions) -> "VectorStore":
@@ -58,7 +62,31 @@ class VectorStore:
         store.lengths = np.ascontiguousarray(np.asarray(lengths, dtype=np.float64))
         store.directions = np.ascontiguousarray(np.asarray(directions, dtype=np.float64))
         store.size, store.rank = store.directions.shape
+        store._screen_tiers = {}
         return store
+
+    # --------------------------------------------------------- screening tiers
+
+    def screen_tier(self, dtype_name: str) -> ScreenTier:
+        """The compressed screening copy of :attr:`directions` for a dtype.
+
+        Built on first use and cached; incremental updates (:meth:`merge` /
+        :meth:`delete`) patch every built tier in sync with the store, so a
+        cached tier always equals a fresh build on the current directions.
+        A racing double-build under concurrent probe shards is deterministic
+        and idempotent (quantization is a pure per-row function), matching
+        the lazy per-bucket index contract.
+        """
+        name = validate_screen_dtype(dtype_name)
+        tier = self._screen_tiers.get(name)
+        if tier is None:
+            tier = ScreenTier.build(self.directions, name)
+            self._screen_tiers[name] = tier
+        return tier
+
+    def set_screen_tier(self, tier: ScreenTier) -> None:
+        """Install a restored (persisted) tier instead of building one."""
+        self._screen_tiers[tier.dtype_name] = tier
 
     def __len__(self) -> int:
         return self.size
@@ -101,6 +129,8 @@ class VectorStore:
         )
         self.ids = np.insert(self.ids, positions, new_ids)
         self.size = self.lengths.shape[0]
+        for tier in self._screen_tiers.values():
+            tier.insert(positions, new_directions)
         return positions
 
     def delete(self, positions) -> None:
@@ -117,6 +147,8 @@ class VectorStore:
         rank_of[np.argsort(remaining, kind="stable")] = np.arange(remaining.size)
         self.ids = rank_of
         self.size = self.lengths.shape[0]
+        for tier in self._screen_tiers.values():
+            tier.delete(positions)
 
     def vector(self, position: int) -> np.ndarray:
         """Reconstruct the original (unnormalised) vector stored at ``position``."""

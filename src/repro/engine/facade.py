@@ -169,6 +169,30 @@ class RetrievalEngine:
         return self.planner.policy
 
     @property
+    def screen_dtype(self) -> str | None:
+        """The retriever's quantized screening tier dtype, or ``None``.
+
+        ``None`` also for retrievers without a screening knob (naive, TA,
+        trees, …).  Assigning validates the name and — unlike setting the
+        retriever attribute directly — keeps the engine's recorded
+        constructor kwargs in sync, so a subsequent :meth:`save` persists
+        the live setting (and, for an active dtype, the tier arrays).
+        """
+        return getattr(self.retriever, "screen_dtype", None)
+
+    @screen_dtype.setter
+    def screen_dtype(self, value: str | None) -> None:
+        from repro.core.screening import validate_screen_dtype
+
+        if not hasattr(self.retriever, "screen_dtype"):
+            raise UnsupportedOperationError(
+                f"{type(self.retriever).__name__} has no quantized screening tier"
+            )
+        name = validate_screen_dtype(value)
+        self.retriever.screen_dtype = name
+        self._construct_kwargs["screen_dtype"] = name
+
+    @property
     def tuning_cache(self):
         """The retriever's :class:`~repro.core.tuning_cache.TuningCache`, or ``None``.
 

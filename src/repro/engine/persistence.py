@@ -60,10 +60,19 @@ from repro.exceptions import NotPreparedError, PersistenceError
 #:    has always produced stored members, format 3 merely promises it), and
 #:    format-1/2 indexes keep loading — eagerly, or mapped too when their
 #:    members turn out to be stored.
-FORMAT_VERSION = 3
+#: 4. additive quantized-screening members: an engine saved with an active
+#:    ``screen_dtype`` writes its compressed screening tier as
+#:    ``state.screen_data`` (plus ``state.screen_scale`` /
+#:    ``state.screen_offset`` for int8) so a reload — eager or mapped — never
+#:    re-quantizes.  The tier dtype itself travels in ``meta["kwargs"]``
+#:    (``screen_dtype``), as every constructor argument does.  Format-3
+#:    readers would choke only on the unknown ``state.`` members, hence the
+#:    bump; format-1/2/3 indexes keep loading here — without tier arrays the
+#:    tier is rebuilt lazily on the first screened query.
+FORMAT_VERSION = 4
 
 #: Format versions :func:`load_engine` accepts.
-SUPPORTED_FORMATS = (1, 2, 3)
+SUPPORTED_FORMATS = (1, 2, 3, 4)
 
 #: ``meta["blsh_base"]`` marker for the order-independent base semantics.
 BLSH_BASE_SEMANTICS = "per-query-theta-b"

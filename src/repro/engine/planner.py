@@ -268,6 +268,12 @@ class ExecutionPlan:
     #: axis stays off, and no warm-up chunk runs because workers carry their
     #: own persisted-warm tuning caches).
     backend: str = BACKEND_THREADS
+    #: Quantized screening tier the retriever will screen candidates with
+    #: (``"f32"`` / ``"f16"`` / ``"int8"``), or ``None`` when candidates go
+    #: straight to exact verification.  Informational: screening changes how
+    #: many candidates reach the exact kernel, never the plan's shape or the
+    #: results (see :mod:`repro.core.screening`).
+    screen_dtype: str | None = None
 
     @property
     def num_batches(self) -> int:
@@ -295,6 +301,11 @@ class ExecutionPlan:
             f"  probe shards  : {self.probe_shards} per chunk"
             + (f" on the {self.probe_axis} axis" if self.probe_axis else ""),
         ]
+        if self.screen_dtype is not None:
+            lines.append(
+                f"  screening     : {self.screen_dtype} quantized tier "
+                "(widened-bound pre-filter, exact f64 verification)"
+            )
         if self.probe_shard_ranges:
             rendered = ", ".join(f"[{start}, {end})" for start, end in self.probe_shard_ranges)
             lines.append(f"  shard ranges  : {rendered}")
@@ -423,6 +434,7 @@ class ExecutionPlanner:
                     num_queries, num_probes, chunks, chunk_workers, probe_shards
                 ),
                 backend=plan_backend,
+                screen_dtype=getattr(retriever, "screen_dtype", None),
             )
 
         if num_batches == 0:

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -9,10 +12,13 @@ from repro import Lemp, RetrievalEngine, create_retriever
 from repro.baselines import NaiveRetriever
 from repro.core.results import AboveThetaResult, TopKResult
 from repro.engine import available_specs, normalize_spec, spec_is_exact
+from repro.engine.persistence import FORMAT_VERSION
 from repro.engine.registry import spec_for_instance
 from repro.exceptions import (
     NotPreparedError,
     PersistenceError,
+    ReproError,
+    ScreeningError,
     UnknownAlgorithmError,
     UnsupportedOperationError,
 )
@@ -268,6 +274,110 @@ class TestPersistence:
         assert np.array_equal(
             again.row_top_k(queries, 3).scores, loaded.row_top_k(queries, 3).scores
         )
+
+
+def _rewrite_index(path, mutate) -> None:
+    """Rewrite ``index.npz`` through ``mutate(arrays)``, keeping members stored."""
+    index_path = Path(path) / "index.npz"
+    with np.load(index_path) as data:
+        arrays = {key: np.array(data[key]) for key in data.files}
+    mutate(arrays)
+    with open(index_path, "wb") as handle:
+        np.savez(handle, **arrays)
+
+
+class TestScreenPersistence:
+    """Format-4 screening-tier members of ``index.npz``."""
+
+    @pytest.mark.parametrize("dtype_name", ["f32", "f16", "int8"])
+    def test_format_4_round_trips_every_dtype(self, dtype_name, workload, tmp_path):
+        queries, probes, _ = workload
+        theta = pick_theta(queries, probes, 300)
+        engine = RetrievalEngine(f"lemp:LI/{dtype_name}", seed=0).fit(probes)
+        expected = engine.above_theta(queries, theta)
+        engine.save(tmp_path / "idx")
+
+        meta = json.loads((tmp_path / "idx" / "meta.json").read_text())
+        assert meta["format"] == FORMAT_VERSION
+        with np.load(tmp_path / "idx" / "index.npz") as data:
+            assert "state.screen_data" in data.files
+            has_scale = {"state.screen_scale", "state.screen_offset"} <= set(data.files)
+            assert has_scale == (dtype_name == "int8")
+
+        loaded = RetrievalEngine.load(tmp_path / "idx")
+        assert loaded.screen_dtype == dtype_name
+        # The tier must come back from disk, not be re-quantized on demand.
+        assert loaded.retriever.store._screen_tiers
+        actual = loaded.above_theta(queries, theta)
+        assert np.array_equal(expected.query_ids, actual.query_ids)
+        assert np.array_equal(expected.probe_ids, actual.probe_ids)
+        assert np.array_equal(expected.scores, actual.scores)
+        assert loaded.retriever.stats.screen_products > 0
+
+    @pytest.mark.parametrize("mmap_mode", [None, "r"])
+    def test_format_3_index_loads_without_tier_members(self, mmap_mode, workload, tmp_path):
+        # An index saved before format 4 has no ``state.screen_*`` members;
+        # a screened engine must still load it — eagerly or mapped — and
+        # rebuild the tier lazily on the first screened query.
+        queries, probes, _ = workload
+        theta = pick_theta(queries, probes, 300)
+        engine = RetrievalEngine("lemp:LI/f16", seed=0).fit(probes)
+        expected = engine.above_theta(queries, theta)
+        engine.save(tmp_path / "idx")
+        _rewrite_index(tmp_path / "idx", lambda arrays: [
+            arrays.pop(key) for key in list(arrays) if key.startswith("state.screen")
+        ])
+        meta_path = tmp_path / "idx" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format"] = 3
+        meta_path.write_text(json.dumps(meta))
+
+        loaded = RetrievalEngine.load(tmp_path / "idx", mmap_mode=mmap_mode)
+        assert loaded.screen_dtype == "f16"
+        assert not loaded.retriever.store._screen_tiers
+        actual = loaded.above_theta(queries, theta)
+        assert np.array_equal(expected.query_ids, actual.query_ids)
+        assert np.array_equal(expected.probe_ids, actual.probe_ids)
+        assert np.array_equal(expected.scores, actual.scores)
+        assert loaded.retriever.stats.screen_products > 0
+
+    def _saved_int8_index(self, workload, tmp_path):
+        _, probes, _ = workload
+        RetrievalEngine("lemp:LI/int8", seed=0).fit(probes).save(tmp_path / "idx")
+        return tmp_path / "idx"
+
+    def test_non_finite_screen_scale_rejected_at_load(self, workload, tmp_path):
+        path = self._saved_int8_index(workload, tmp_path)
+        def corrupt(arrays):
+            arrays["state.screen_scale"][0] = np.nan
+        _rewrite_index(path, corrupt)
+        with pytest.raises(ScreeningError, match="non-finite"):
+            RetrievalEngine.load(path)
+
+    def test_missing_screen_scale_rejected_at_load(self, workload, tmp_path):
+        path = self._saved_int8_index(workload, tmp_path)
+        _rewrite_index(path, lambda arrays: arrays.pop("state.screen_scale"))
+        with pytest.raises(ScreeningError, match="missing its scale"):
+            RetrievalEngine.load(path)
+
+    def test_mis_shaped_screen_offset_rejected_at_load(self, workload, tmp_path):
+        path = self._saved_int8_index(workload, tmp_path)
+        def truncate(arrays):
+            arrays["state.screen_offset"] = arrays["state.screen_offset"][:-1]
+        _rewrite_index(path, truncate)
+        # ScreeningError is a ReproError, so blanket handlers catch it too.
+        assert issubclass(ScreeningError, ReproError)
+        with pytest.raises(ReproError, match="one value per row"):
+            RetrievalEngine.load(path)
+
+    def test_wrong_dtype_screen_data_rejected_at_load(self, workload, tmp_path):
+        _, probes, _ = workload
+        RetrievalEngine("lemp:LI/f16", seed=0).fit(probes).save(tmp_path / "idx")
+        def widen(arrays):
+            arrays["state.screen_data"] = arrays["state.screen_data"].astype(np.float32)
+        _rewrite_index(tmp_path / "idx", widen)
+        with pytest.raises(ScreeningError, match="stored as"):
+            RetrievalEngine.load(tmp_path / "idx")
 
 
 class TestIncrementalUpdates:

@@ -34,7 +34,7 @@ import pytest
 
 from repro.core.stats import RunStats
 from repro.engine.facade import RetrievalEngine
-from repro.engine.persistence import mmap_npz_arrays
+from repro.engine.persistence import FORMAT_VERSION, mmap_npz_arrays
 from repro.exceptions import (
     DimensionMismatchError,
     InvalidParameterError,
@@ -375,7 +375,7 @@ def test_format_2_indexes_still_load(index_dir, tmp_path):
     legacy.mkdir()
     (legacy / "index.npz").write_bytes((index_dir / "index.npz").read_bytes())
     meta = json.loads((index_dir / "meta.json").read_text())
-    assert meta["format"] == 3
+    assert meta["format"] == FORMAT_VERSION
     meta["format"] = 2
     del meta["mmap_layout"]
     (legacy / "meta.json").write_text(json.dumps(meta))

@@ -1,0 +1,136 @@
+"""Measure screening-tier selectivity and recall on the regression dataset.
+
+Extends ``tools/measure_blsh_recall.py`` to the quantized screening tier:
+for every screen dtype the script runs the same Above-θ / Row-Top-k workload
+on a *warm* engine twice — unscreened, then with ``screen_dtype`` toggled —
+and records
+
+* ``recall`` — fraction of the unscreened run's result pairs the screened
+  run returns (the contract demands exactly 1.0: screening must be lossless);
+* ``survivor_rate`` — verified candidates divided by screened candidates,
+  the tier's selectivity (lower = more pruning);
+* ``bytes_scanned_ratio`` — modelled verification bytes of the screened run
+  (compressed reads for every screened candidate + f64 reads for survivors)
+  over the unscreened run's f64 reads — the bandwidth the tier saves.
+
+Writes ``tests/data/screening_baseline.json``.  The regression test in
+``tests/test_screening_baseline.py`` pins the current code against the
+committed numbers: recall must stay exactly 1.0 for every dtype, and int8 —
+the loosest bound — must not admit more than 1.25x the f32 survivor count.
+Re-running this script OVERWRITES the pinned reference with measurements of
+the current code — only do that deliberately, when re-baselining.
+
+Run with::
+
+    PYTHONPATH=src python tools/measure_screening.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.lemp import Lemp
+from repro.core.screening import SCREEN_DTYPES
+from repro.datasets.synthetic import synthetic_factors
+from repro.eval.recall import theta_for_result_count
+
+#: Dataset / workload configuration shared with tests/test_screening_baseline.py.
+CONFIG = {
+    "num_probes": 3000,
+    "num_queries": 400,
+    "rank": 32,
+    "length_cov": 0.8,
+    "probe_seed": 7,
+    "query_seed": 8,
+    "result_count": 2000,
+    "k": 10,
+    "algorithm": "LI",
+    "lemp_seed": 0,
+}
+
+#: Bytes one verification candidate reads per screen dtype (per coordinate).
+_SCREEN_ITEM_BYTES = {"f32": 4, "f16": 2, "int8": 1}
+
+
+def _run_workload(retriever, queries, theta, k):
+    """Run the fixed Above-θ + Row-Top-k workload; return the result pairs."""
+    retriever.stats.reset()
+    above = retriever.above_theta(queries, theta).to_set()
+    top = retriever.row_top_k(queries, k)
+    top_pairs = {
+        (row, int(index))
+        for row in range(top.indices.shape[0])
+        for index in top.indices[row]
+        if index >= 0
+    }
+    return above, top_pairs
+
+
+def screening_report(config: dict = CONFIG) -> dict:
+    """Selectivity and recall of every screen dtype on one warm engine."""
+    probes = synthetic_factors(
+        config["num_probes"], rank=config["rank"],
+        length_cov=config["length_cov"], seed=config["probe_seed"],
+    )
+    queries = synthetic_factors(
+        config["num_queries"], rank=config["rank"],
+        length_cov=config["length_cov"], seed=config["query_seed"],
+    )
+    theta = theta_for_result_count(queries, probes, config["result_count"])
+    rank = config["rank"]
+
+    retriever = Lemp(algorithm=config["algorithm"], seed=config["lemp_seed"]).fit(probes)
+    # Warm the tuning cache so every measured run shares tuning outcomes.
+    _run_workload(retriever, queries, theta, config["k"])
+    base_above, base_top = _run_workload(retriever, queries, theta, config["k"])
+    base_inner = retriever.stats.inner_products
+    base_bytes = base_inner * rank * 8
+
+    tiers = {}
+    for dtype_name in SCREEN_DTYPES:
+        retriever.screen_dtype = dtype_name
+        above, top = _run_workload(retriever, queries, theta, config["k"])
+        stats = retriever.stats
+        survivors = stats.inner_products
+        screened_bytes = (
+            stats.screen_products * rank * _SCREEN_ITEM_BYTES[dtype_name]
+            + survivors * rank * 8
+        )
+        recall = (
+            len(above & base_above) + len(top & base_top)
+        ) / max(len(base_above) + len(base_top), 1)
+        tiers[dtype_name] = {
+            "recall": round(recall, 6),
+            "screen_products": int(stats.screen_products),
+            "survivors": int(survivors),
+            "screen_dropped": int(stats.screen_dropped),
+            "survivor_rate": round(survivors / max(stats.screen_products, 1), 6),
+            "bytes_scanned_ratio": round(screened_bytes / max(base_bytes, 1), 6),
+            "counter_split_exact": bool(
+                survivors + stats.screen_dropped == base_inner
+            ),
+        }
+    retriever.screen_dtype = None
+
+    return {
+        "config": config,
+        "theta": theta,
+        "unscreened_inner_products": int(base_inner),
+        "tiers": tiers,
+    }
+
+
+def main() -> None:
+    """Measure screening selectivity and write the JSON baseline."""
+    report = screening_report()
+    path = Path(__file__).resolve().parents[1] / "tests" / "data" / "screening_baseline.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()
