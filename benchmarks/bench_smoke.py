@@ -23,7 +23,20 @@ The script exits non-zero (failing the CI ``bench-smoke`` job) when any of
   ``--margin``, or
 * the combined-axis plan does not actually use both axes, its explained
   plan differs from the recorded one, its results/counters drift from
-  serial, or the warm combined workload regresses beyond ``--margin``.
+  serial, or the warm combined workload regresses beyond ``--margin``, or
+* the calibration gate fails: after learning its cost model from serial
+  traffic in the ``"auto"`` policy mode, the calibrated planner's chosen
+  plan must carry a calibration line, reproduce its explained plan, stay
+  byte+counter identical to serial, and not run more than ``--margin``
+  slower than the *best* fixed policy of the serial / chunk-only /
+  probe-only / combined ablation grid (the calibrated planner is free to
+  pick any of those shapes — including vetoing to serial on a machine
+  where its measured dispatch overhead says sharding will not pay).
+
+The calibration ablation grid and verdict are additionally written to a
+dedicated planner report (``--planner-output`` /
+``--planner-commit-path`` → ``BENCH_planner.json``), so the planner's
+perf trajectory accumulates alongside ``BENCH_serving.json``.
 
 Timings take the best of ``--repeats`` runs on warmed engines, which is
 robust against CI neighbours; the determinism checks are exact and
@@ -97,6 +110,14 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="also write the report to this path (for committed baselines at "
              "the repo root, kept separate from --output scratch runs)",
     )
+    parser.add_argument(
+        "--planner-output", type=Path, default=Path("BENCH_planner.json"),
+        help="JSON report path of the calibration-gate ablation grid",
+    )
+    parser.add_argument(
+        "--planner-commit-path", type=Path, default=None,
+        help="also write the planner report to this path (committed baseline)",
+    )
     return parser.parse_args(argv)
 
 
@@ -125,7 +146,7 @@ def counter_delta(engine, before: dict[str, int]) -> dict[str, int]:
     return {name: getattr(engine.stats, name) - before[name] for name in COUNTERS}
 
 
-def run_smoke(args: argparse.Namespace) -> dict:
+def run_smoke(args: argparse.Namespace) -> tuple[dict, dict]:
     probes = synthetic_factors(args.probes, rank=args.rank, length_cov=0.8, seed=args.seed)
     queries = synthetic_factors(args.queries, rank=args.rank, length_cov=0.8, seed=args.seed + 1)
 
@@ -405,6 +426,148 @@ def run_smoke(args: argparse.Namespace) -> dict:
             "explained plan, and not regress beyond the margin"
         ),
     }
+    # Calibration gate: on the same warm engine, time the fixed-policy
+    # ablation grid (serial / chunk-only / probe-only / combined), then let
+    # the "auto" policy learn its cost model from serial traffic and pick a
+    # plan on its own.  The calibrated plan must carry its calibration line,
+    # reproduce its explained plan, stay byte+counter identical to serial,
+    # and land within the margin of the *best* fixed policy — whichever
+    # shape it chooses (on a single-core box the measured dispatch overhead
+    # may legitimately veto sharding back to serial).
+    from repro.engine import PlanPolicy
+    from repro.engine.calibration import DEFAULT_MIN_OBSERVATIONS
+
+    fixed_grid = (
+        ("serial", 1, {}),
+        ("chunk_only", args.workers, {"max_probe_shards": 1}),
+        ("probe_only", args.workers, {"max_chunk_workers": 1}),
+        ("combined", args.workers, {}),
+    )
+    fixed_timings: dict[str, float] = {}
+    for label, grid_workers, knobs in fixed_grid:
+        engine.workers = grid_workers
+        engine.plan_policy = PlanPolicy(**knobs)
+        combined_workload()  # warm the pools for this shape
+        fixed_timings[label] = best_of(args.repeats, combined_workload)
+    best_fixed_label = min(fixed_timings, key=fixed_timings.get)
+    timings["calibration_best_fixed"] = fixed_timings[best_fixed_label]
+
+    engine.plan_policy = "auto"
+    engine.workers = 1
+    rounds = 0
+    while not engine.cost_model.has_confident_estimates() \
+            and rounds < DEFAULT_MIN_OBSERVATIONS + 2:
+        combined_workload()  # serial traffic: pair-cost observations
+        rounds += 1
+    confident = engine.cost_model.has_confident_estimates()
+
+    engine.workers = args.workers
+
+    # Let the model settle before timing: the first sharded calls feed real
+    # dispatch samples back into the EWMA, which can change the chosen shape
+    # (on a small box the measured overhead legitimately vetoes sharding back
+    # to serial).  Run until the planned shape stops moving so the timed run
+    # measures one converged plan on warm pools and tuning caches, not a
+    # transient mix of shapes.
+    def auto_shapes() -> tuple:
+        return tuple(
+            (plan.workers, plan.probe_shards)
+            for plan in (
+                engine.explain(queries, k=args.k, batch_size=combined_batch),
+                engine.explain(queries, theta=args.theta, batch_size=combined_batch),
+            )
+        )
+
+    prev_shapes = auto_shapes()
+    for _ in range(6):
+        combined_workload()
+        settled_shapes = auto_shapes()
+        if settled_shapes == prev_shapes:
+            break
+        prev_shapes = settled_shapes
+    timings["calibration_auto"] = best_of(args.repeats, combined_workload)
+
+    # Byte/plan check: in auto mode every completed call refines the model,
+    # so each plan is explained immediately before its call runs.
+    before = counter_snapshot(engine)
+    plan_top_auto = engine.explain(queries, k=args.k, batch_size=combined_batch)
+    top_auto = engine.row_top_k(queries, args.k, batch_size=combined_batch)
+    recorded_top = engine.history[-1].plan
+    plan_hits_auto = engine.explain(queries, theta=args.theta, batch_size=combined_batch)
+    hits_auto = engine.above_theta(queries, args.theta, batch_size=combined_batch)
+    recorded_hits = engine.history[-1].plan
+    auto_deltas = counter_delta(engine, before)
+
+    auto_identical = (
+        np.array_equal(top_serial_c.indices, top_auto.indices)
+        and np.array_equal(top_serial_c.scores, top_auto.scores)
+        and np.array_equal(hits_serial_c.query_ids, hits_auto.query_ids)
+        and np.array_equal(hits_serial_c.probe_ids, hits_auto.probe_ids)
+        and np.array_equal(hits_serial_c.scores, hits_auto.scores)
+    )
+    auto_drift = {
+        name: {"serial": serial_combined_deltas[name], "calibrated": auto_deltas[name]}
+        for name in COUNTERS
+        if serial_combined_deltas[name] != auto_deltas[name]
+    }
+    auto_plans_match = (recorded_top, recorded_hits) == (plan_top_auto, plan_hits_auto)
+    calibration_lines = [recorded_top.calibration, recorded_hits.calibration]
+    lines_present = all(
+        line is not None and "cost veto armed" in line for line in calibration_lines
+    )
+    calibration_ratio = timings["calibration_auto"] / timings["calibration_best_fixed"]
+    checks["calibration_gate"] = {
+        "passed": (
+            confident and lines_present and auto_plans_match
+            and auto_identical and not auto_drift
+            and calibration_ratio <= args.margin
+        ),
+        "cost_model_confident": confident,
+        "calibration_lines_present": lines_present,
+        "explained_plan_matches_recorded": auto_plans_match,
+        "results_byte_identical": auto_identical,
+        "counter_drift": auto_drift,
+        "fixed_timings_seconds": {
+            label: round(value, 5) for label, value in fixed_timings.items()
+        },
+        "best_fixed_policy": best_fixed_label,
+        "calibrated_plan_shapes": [
+            f"{plan.workers}x{plan.probe_shards}"
+            for plan in (recorded_top, recorded_hits)
+        ],
+        "calibrated_over_best_fixed_time_ratio": round(calibration_ratio, 4),
+        "margin": args.margin,
+        "detail": (
+            "the auto policy, calibrated from serial traffic, must plan with "
+            "its learned costs (veto armed), reproduce its explained plans, "
+            "match serial byte-for-byte, and stay within the margin of the "
+            "best fixed policy on the ablation grid"
+        ),
+    }
+    planner_report = {
+        "benchmark": "bench_planner",
+        "library_version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "dataset": {
+            "probes": args.probes, "queries": args.queries, "rank": args.rank,
+            "k": args.k, "theta": args.theta, "seed": args.seed,
+            "combined_batch": combined_batch, "workers": args.workers,
+        },
+        "fixed_timings_seconds": {
+            label: round(value, 5) for label, value in fixed_timings.items()
+        },
+        "calibrated_seconds": round(timings["calibration_auto"], 5),
+        "best_fixed_policy": best_fixed_label,
+        "calibrated_over_best_fixed_time_ratio": round(calibration_ratio, 4),
+        "calibrated_plan_shapes": checks["calibration_gate"]["calibrated_plan_shapes"],
+        "calibration_lines": calibration_lines,
+        "cost_model_entries": engine.cost_model.num_entries,
+        "cost_model_observations": engine.cost_model.num_observations,
+        "gate": checks["calibration_gate"],
+    }
+
+    engine.plan_policy = "fixed"
     engine.workers = args.workers  # leave as configured for the report
 
     speedup = timings["serial_blocked"] / timings["parallel_blocked"]
@@ -435,16 +598,20 @@ def run_smoke(args: argparse.Namespace) -> dict:
         "checks": checks,
         "passed": all(check["passed"] for check in checks.values()),
     }
-    return report
+    return report, planner_report
 
 
 def main(argv=None) -> int:
     args = parse_args(argv)
-    report = run_smoke(args)
+    report, planner_report = run_smoke(args)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
+    args.planner_output.write_text(json.dumps(planner_report, indent=2) + "\n")
     if args.commit_path is not None:
         args.commit_path.parent.mkdir(parents=True, exist_ok=True)
         args.commit_path.write_text(json.dumps(report, indent=2) + "\n")
+    if args.planner_commit_path is not None:
+        args.planner_commit_path.parent.mkdir(parents=True, exist_ok=True)
+        args.planner_commit_path.write_text(json.dumps(planner_report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     if not report["passed"]:
         failed = [name for name, check in report["checks"].items() if not check["passed"]]

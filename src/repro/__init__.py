@@ -42,6 +42,7 @@ from repro.core import (
     VectorStore,
 )
 from repro.engine import (
+    CostModel,
     ExecutionPlan,
     ExecutionPlanner,
     PlanPolicy,
@@ -61,11 +62,12 @@ from repro.exceptions import (
     UnsupportedOperationError,
 )
 
-__version__ = "2.5.0"
+__version__ = "2.6.0"
 
 __all__ = [
     "ALGORITHMS",
     "AboveThetaResult",
+    "CostModel",
     "DimensionMismatchError",
     "ExecutionPlan",
     "ExecutionPlanner",

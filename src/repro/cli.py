@@ -21,8 +21,9 @@ persists it, and verifies the reloaded copy — the starting point for serving
 deployments.  ``explain`` shows the :class:`~repro.engine.planner.ExecutionPlan`
 a workload would run under — chunking, chunk workers, probe shards, merge
 order, cost estimates — without executing it (add ``--execute`` to also run
-the call and check the recorded plan matches), plus the retriever's serving
-compatibility (micro-batching, mmap/process backend).  ``serve`` drives an
+the call and check the recorded plan matches; ``--policy auto`` plans from
+the engine's learned cost model instead of the static knobs), plus the
+retriever's serving compatibility (micro-batching, mmap/process backend).  ``serve`` drives an
 asyncio client swarm against a persisted index through the
 :class:`~repro.serve.ServingEngine` — dynamic micro-batching, optional
 process workers sharing one memory-mapped index — and reports latency
@@ -127,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="chunk size (default: the engine default)")
     explain.add_argument("--execute", action="store_true",
                          help="also run the call and verify it recorded exactly this plan")
+    explain.add_argument("--policy", default="fixed",
+                         choices=["fixed", "auto", "calibrated"],
+                         help="plan policy mode (auto/calibrated consult the "
+                              "engine's learned cost model)")
 
     index = subparsers.add_parser(
         "index", help="build a persistent index for a dataset (save, reload, verify)"
@@ -238,11 +243,12 @@ def _command_explain(args, out) -> int:
     k, theta = args.k, args.theta
     if k is None and theta is None:
         k = 10
-    engine = RetrievalEngine(args.algorithm, seed=args.seed, workers=args.workers)
+    engine = RetrievalEngine(args.algorithm, seed=args.seed, workers=args.workers,
+                             plan_policy=args.policy)
     engine.fit(dataset.probes)
     plan = engine.explain(dataset.queries, theta=theta, k=k, batch_size=args.batch_size)
 
-    capabilities = spec_capabilities(args.algorithm)
+    capabilities = spec_capabilities(args.algorithm, engine=engine)
     flags = ", ".join(
         f"{name}={'yes' if enabled else 'no'}"
         for name, enabled in sorted(capabilities.items())

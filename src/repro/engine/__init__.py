@@ -10,6 +10,10 @@ This package is the serving-oriented surface over the algorithmic core:
   compiled into an explicit :class:`ExecutionPlan` (chunking, chunk-axis
   workers, per-chunk probe shards, warm-up, merge order; the two sharding
   axes compose) and then executed with a deterministic plan-order merge.
+  A :class:`CostModel` learns the planner's cost knobs online from every
+  completed call; ``plan_policy="auto"`` applies the measured per-shape
+  estimates (with the cost veto armed) once confident — see
+  :mod:`repro.engine.calibration`.
 * :class:`RetrievalEngine` — wraps a retriever with chunked/batched query
   execution (serial, or sharded per the plan with ``workers=N``), a fluent
   query builder, :meth:`~RetrievalEngine.explain` for plan introspection,
@@ -31,6 +35,12 @@ Quick start::
     engine = RetrievalEngine.load("idx/")
 """
 
+from repro.engine.calibration import (
+    POLICY_MODES,
+    Calibration,
+    CostModel,
+    resolve_policy_spec,
+)
 from repro.engine.executor import PlanExecutor
 from repro.engine.facade import EngineCall, QueryBuilder, RetrievalEngine
 from repro.engine.planner import (
@@ -54,10 +64,13 @@ from repro.engine.registry import (
 __all__ = [
     "BACKEND_PROCESSES",
     "BACKEND_THREADS",
+    "Calibration",
     "CostEstimate",
+    "CostModel",
     "EngineCall",
     "ExecutionPlan",
     "ExecutionPlanner",
+    "POLICY_MODES",
     "PlanExecutor",
     "PlanPolicy",
     "QueryBuilder",
@@ -67,6 +80,7 @@ __all__ = [
     "normalize_spec",
     "register_retriever",
     "registered_names",
+    "resolve_policy_spec",
     "spec_capabilities",
     "spec_is_exact",
 ]

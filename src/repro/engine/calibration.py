@@ -1,0 +1,338 @@
+"""Online cost calibration: learn the planner's cost knobs from real calls.
+
+The :class:`~repro.engine.planner.ExecutionPlanner`'s cost model ships with
+static defaults (``PlanPolicy.dispatch_seconds`` / ``pair_seconds``), so out
+of the box plans are a pure function of call shape and retriever
+capabilities.  This module closes the loop the paper's per-bucket tuner
+closes one level down: every completed
+:class:`~repro.engine.facade.EngineCall` already records its plan and wall
+time, and :class:`CostModel` folds those records into per-
+``(problem, retriever spec, shape bucket)`` estimates of the two knobs:
+
+* **pair seconds** — learned from *serial* calls only
+  (``workers == probe_shards == 1`` on the thread backend), where
+  ``seconds / (num_queries × num_probes)`` measures the true per-pair cost
+  with no dispatch overhead mixed in;
+* **dispatch seconds** — learned from *sharded* calls, by subtracting the
+  modelled compute (current pair estimate ÷ the plan's parallelism) from
+  the observed wall time and dividing by the plan's dispatched task count.
+
+Both are exponentially-weighted moving averages (:attr:`CostModel.alpha`),
+so a drifting machine re-converges, and a **shape bucket** is the pair of
+power-of-two magnitudes ``(num_queries, num_probes)`` — per-pair cost is
+scale-dependent (cache residency, batch amortisation), so estimates from
+million-row sweeps never steer single-query latency plans.
+
+A bucket's estimate becomes **confident** after
+:attr:`CostModel.min_observations` serial observations.  What happens then
+depends on the engine's *policy mode* (:func:`resolve_policy_spec`):
+
+* ``"fixed"`` (the default) — the model keeps learning but is never
+  consulted; plans depend on shape and capabilities alone.
+* ``"auto"`` — plans are fixed until a call's bucket is confident, then the
+  planner runs with the measured knobs and ``cost_veto`` armed: sharding
+  that the measured costs say will not pay (small calls, or a machine whose
+  measured dispatch overhead swamps the parallel win) degrades to serial.
+* ``"calibrated"`` — like ``"auto"`` but unconditional: whatever estimates
+  exist (confident or not, defaults if none) are applied with the veto
+  armed.  Use when the model was fitted elsewhere and persisted.
+
+Calibration changes **which plan runs, never what it returns** — every plan
+the calibrated policy can emit (serial, chunked, probe-sharded, combined)
+is byte-identical to serial by the executor's merge contract.  Plans built
+from a calibrated policy carry a ``calibration`` line naming the estimates
+used, so ``plan.describe()`` / ``repro explain`` say *why* the cost model
+steered the shape; ``engine.explain`` still returns exactly the plan the
+next call records (the model only ingests *completed* calls, after
+planning).  The fitted model persists additively in ``meta.json``
+(``"cost_model"``), so a reloaded engine starts with its learned costs —
+and its veto — active immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import InvalidParameterError
+
+#: Accepted string policy specs (``RetrievalEngine(plan_policy=...)``,
+#: ``engine.query(q).policy(...)``, ``repro explain --policy ...``).
+MODE_FIXED = "fixed"
+MODE_AUTO = "auto"
+MODE_CALIBRATED = "calibrated"
+POLICY_MODES = (MODE_FIXED, MODE_AUTO, MODE_CALIBRATED)
+
+#: EWMA weight of a new observation (older observations decay as (1-α)^n).
+DEFAULT_EWMA_ALPHA = 0.25
+
+#: Serial observations a shape bucket needs before its estimate is confident.
+DEFAULT_MIN_OBSERVATIONS = 5
+
+
+def resolve_policy_spec(value) -> tuple[str, "PlanPolicy"]:
+    """Normalise a policy spec into ``(mode, base PlanPolicy)``.
+
+    Accepts ``None`` (fixed mode, default knobs), one of the
+    :data:`POLICY_MODES` strings, or — the pre-spec API, still first-class —
+    a :class:`~repro.engine.planner.PlanPolicy` / dict of knobs (fixed mode
+    with those knobs).
+    """
+    from repro.engine.planner import PlanPolicy
+
+    if value is None:
+        return MODE_FIXED, PlanPolicy()
+    if isinstance(value, str):
+        mode = value.strip().lower()
+        if mode not in POLICY_MODES:
+            raise InvalidParameterError(
+                f"unknown plan policy spec {value!r}; expected one of "
+                f"{POLICY_MODES} (or a PlanPolicy / dict of knobs)"
+            )
+        return mode, PlanPolicy()
+    return MODE_FIXED, PlanPolicy.coerce(value)
+
+
+def shape_bucket(num_queries: int, num_probes: int) -> tuple[int, int]:
+    """Power-of-two magnitude bucket of a call shape.
+
+    ``bit_length`` buckets 1 with 1, 2–3 together, …, 1024–2047 together:
+    coarse enough that repeated production traffic lands in a handful of
+    buckets, fine enough that a single-query call never inherits the
+    per-pair cost measured on a million-row sweep.
+    """
+    return (int(num_queries).bit_length(), int(num_probes).bit_length())
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """One shape bucket's learned estimates, as consulted by the engine.
+
+    A frozen snapshot: the engine looks one up per call (auto/calibrated
+    modes), derives the effective policy with :meth:`policy`, and stamps
+    :meth:`describe` onto the plan as its ``calibration`` line.
+    """
+
+    problem: str
+    spec: str
+    #: ``(num_queries.bit_length(), num_probes.bit_length())``.
+    shape: tuple[int, int]
+    pair_seconds: float
+    pair_observations: int
+    #: ``None`` until a sharded call has been observed for this bucket.
+    dispatch_seconds: float | None
+    dispatch_observations: int
+    #: Whether ``pair_observations`` reached the model's threshold.
+    confident: bool
+
+    def policy(self, base) -> "PlanPolicy":
+        """``base`` with the measured knobs substituted and the veto armed."""
+        return replace(
+            base,
+            pair_seconds=self.pair_seconds,
+            dispatch_seconds=(
+                self.dispatch_seconds
+                if self.dispatch_seconds is not None
+                else base.dispatch_seconds
+            ),
+            cost_veto=True,
+        )
+
+    def describe(self) -> str:
+        """One-line rendering for the plan's ``calibration:`` line."""
+        dispatch = (
+            f"dispatch={self.dispatch_seconds:.2e}s ({self.dispatch_observations} obs)"
+            if self.dispatch_seconds is not None
+            else "dispatch=default (no sharded calls observed)"
+        )
+        state = "confident" if self.confident else f"{self.pair_observations} obs, not yet confident"
+        return (
+            f"pair={self.pair_seconds:.2e}s ({self.pair_observations} obs), {dispatch} "
+            f"for {self.problem}@{self.spec} shape~2^{self.shape[0]}q x 2^{self.shape[1]}p "
+            f"[{state}; cost veto armed]"
+        )
+
+
+class CostModel:
+    """Online per-(problem, spec, shape-bucket) cost estimates (EWMA).
+
+    The engine owns one and feeds it every completed call
+    (:meth:`observe`); planning consults it only in the ``"auto"`` /
+    ``"calibrated"`` policy modes (:meth:`lookup`).  State is plain floats
+    and ints, JSON-able via :meth:`to_dict` / :meth:`from_dict` for
+    ``meta.json`` persistence.
+    """
+
+    def __init__(self, alpha: float = DEFAULT_EWMA_ALPHA,
+                 min_observations: int = DEFAULT_MIN_OBSERVATIONS) -> None:
+        """Configure the EWMA weight and the confidence threshold."""
+        if not isinstance(alpha, (int, float)) or isinstance(alpha, bool) \
+                or not 0.0 < float(alpha) <= 1.0:
+            raise InvalidParameterError(
+                f"cost model alpha must be a float in (0, 1], got {alpha!r}"
+            )
+        if isinstance(min_observations, bool) or not isinstance(min_observations, int) \
+                or min_observations < 1:
+            raise InvalidParameterError(
+                f"cost model min_observations must be a positive int, got {min_observations!r}"
+            )
+        self.alpha = float(alpha)
+        self.min_observations = int(min_observations)
+        #: (problem, spec, shape) -> mutable estimate record.
+        self._entries: dict[tuple[str, str, tuple[int, int]], dict] = {}
+
+    # ---------------------------------------------------------------- updates
+
+    def _ewma(self, current: float | None, sample: float) -> float:
+        if current is None:
+            return sample
+        return (1.0 - self.alpha) * current + self.alpha * sample
+
+    def observe(self, call, spec: str, num_probes: int) -> None:
+        """Fold one completed :class:`~repro.engine.facade.EngineCall` in.
+
+        Serial thread-backend calls update the bucket's ``pair_seconds``;
+        sharded or process-backend calls update ``dispatch_seconds`` (once a
+        pair estimate exists to subtract the modelled compute).  Calls with
+        no plan, no queries, no probes, or a non-positive wall time are
+        ignored — they carry no cost signal.
+        """
+        from repro.engine.planner import BACKEND_THREADS
+
+        plan = call.plan
+        if plan is None or call.num_queries <= 0 or num_probes <= 0 or call.seconds <= 0.0:
+            return
+        key = (plan.problem, str(spec), shape_bucket(call.num_queries, num_probes))
+        entry = self._entries.get(key)
+        work = call.num_queries * num_probes
+        serial = (
+            plan.workers <= 1 and plan.probe_shards <= 1
+            and plan.backend == BACKEND_THREADS
+        )
+        if serial:
+            if entry is None:
+                entry = self._entries[key] = {
+                    "pair_seconds": None,
+                    "pair_observations": 0,
+                    "dispatch_seconds": None,
+                    "dispatch_observations": 0,
+                }
+            entry["pair_seconds"] = self._ewma(entry["pair_seconds"], call.seconds / work)
+            entry["pair_observations"] += 1
+            return
+        tasks = plan.estimate.dispatched_tasks
+        if tasks <= 0 or entry is None or entry["pair_seconds"] is None:
+            return
+        modelled_compute = entry["pair_seconds"] * work / plan.total_parallelism
+        sample = max(0.0, call.seconds - modelled_compute) / tasks
+        entry["dispatch_seconds"] = self._ewma(entry["dispatch_seconds"], sample)
+        entry["dispatch_observations"] += 1
+
+    # ---------------------------------------------------------------- queries
+
+    def lookup(self, problem: str, spec: str, num_queries: int,
+               num_probes: int) -> Calibration | None:
+        """The bucket's :class:`Calibration` snapshot, or ``None`` if unseen.
+
+        ``None`` is also returned while the bucket has dispatch-only
+        observations (no serial call yet): without a pair estimate there is
+        nothing meaningful to steer a plan with.
+        """
+        key = (problem, str(spec), shape_bucket(num_queries, num_probes))
+        entry = self._entries.get(key)
+        if entry is None or entry["pair_seconds"] is None:
+            return None
+        return Calibration(
+            problem=key[0],
+            spec=key[1],
+            shape=key[2],
+            pair_seconds=entry["pair_seconds"],
+            pair_observations=entry["pair_observations"],
+            dispatch_seconds=entry["dispatch_seconds"],
+            dispatch_observations=entry["dispatch_observations"],
+            confident=entry["pair_observations"] >= self.min_observations,
+        )
+
+    @property
+    def num_entries(self) -> int:
+        """Distinct (problem, spec, shape-bucket) keys observed so far."""
+        return len(self._entries)
+
+    @property
+    def num_observations(self) -> int:
+        """Total observations folded in (serial + sharded)."""
+        return sum(
+            entry["pair_observations"] + entry["dispatch_observations"]
+            for entry in self._entries.values()
+        )
+
+    def has_confident_estimates(self) -> bool:
+        """Whether any shape bucket reached the confidence threshold."""
+        return any(
+            entry["pair_seconds"] is not None
+            and entry["pair_observations"] >= self.min_observations
+            for entry in self._entries.values()
+        )
+
+    # ------------------------------------------------------------ persistence
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot (deterministically ordered) for ``meta.json``."""
+        entries = []
+        for (problem, spec, shape), entry in sorted(self._entries.items()):
+            entries.append(
+                {
+                    "problem": problem,
+                    "spec": spec,
+                    "shape": list(shape),
+                    "pair_seconds": entry["pair_seconds"],
+                    "pair_observations": entry["pair_observations"],
+                    "dispatch_seconds": entry["dispatch_seconds"],
+                    "dispatch_observations": entry["dispatch_observations"],
+                }
+            )
+        return {
+            "alpha": self.alpha,
+            "min_observations": self.min_observations,
+            "entries": entries,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "CostModel":
+        """Rebuild a model from :meth:`to_dict` output, leniently.
+
+        Persistence calls this on whatever ``meta.json`` carries: malformed
+        or unknown-field entries are skipped, bad top-level knobs fall back
+        to defaults — an index saved by a newer (or hand-edited) library
+        must still open, at worst with less learned state.
+        """
+        model = cls()
+        if not isinstance(data, dict):
+            return model
+        try:
+            model = cls(
+                alpha=float(data.get("alpha", DEFAULT_EWMA_ALPHA)),
+                min_observations=int(data.get("min_observations", DEFAULT_MIN_OBSERVATIONS)),
+            )
+        except (InvalidParameterError, TypeError, ValueError):
+            model = cls()
+        entries = data.get("entries", ())
+        if not isinstance(entries, (list, tuple)):
+            return model
+        for raw in entries:
+            try:
+                key = (str(raw["problem"]), str(raw["spec"]),
+                       (int(raw["shape"][0]), int(raw["shape"][1])))
+                pair = raw["pair_seconds"]
+                dispatch = raw["dispatch_seconds"]
+                entry = {
+                    "pair_seconds": None if pair is None else float(pair),
+                    "pair_observations": int(raw["pair_observations"]),
+                    "dispatch_seconds": None if dispatch is None else float(dispatch),
+                    "dispatch_observations": int(raw["dispatch_observations"]),
+                }
+            except (KeyError, IndexError, TypeError, ValueError):
+                continue
+            if entry["pair_observations"] < 0 or entry["dispatch_observations"] < 0:
+                continue
+            model._entries[key] = entry
+        return model

@@ -27,6 +27,12 @@ the planner promises:
   shards merge inside the retriever in bucket/row order), never in
   completion order, so cumulative counters — and float timing sums — equal a
   serial run's exactly.
+
+The executor never reads timings to make decisions — the wall clock of each
+completed call is recorded on its ``EngineCall`` and fed to the engine's
+:class:`~repro.engine.calibration.CostModel`, which influences only what the
+*planner* emits for future calls.  Execution itself is a deterministic
+replay of the plan it was handed.
 """
 
 from __future__ import annotations

@@ -29,16 +29,31 @@ every composition stays bit-identical to serial execution (see
 :mod:`repro.engine.executor` for the mechanics).  :meth:`RetrievalEngine.explain`
 returns the plan a call *would* use without executing anything, and the
 executed call records the identical plan on its :class:`EngineCall`.
+
+The planner's cost knobs can also be *learned*: every completed call feeds
+the engine's :class:`~repro.engine.calibration.CostModel`, and with
+``plan_policy="auto"`` (or the per-call ``policy="auto"`` /
+``engine.query(q).policy("auto")`` spellings) plans are built from the
+measured per-shape costs — with ``cost_veto`` armed — once the model is
+confident.  See :mod:`repro.engine.calibration` for the policy modes and
+the purity contract they preserve.
 """
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.results import AboveThetaResult, TopKResult
+from repro.engine.calibration import (
+    MODE_CALIBRATED,
+    MODE_FIXED,
+    CostModel,
+    resolve_policy_spec,
+)
 from repro.engine.executor import PlanExecutor
 from repro.engine.planner import BACKEND_PROCESSES, ExecutionPlan, ExecutionPlanner, PlanPolicy
 from repro.engine.registry import create_retriever, spec_for_instance
@@ -48,6 +63,9 @@ from repro.utils.validation import as_float_matrix, require_positive, require_po
 
 #: Batch size used when the caller does not pick one.
 DEFAULT_BATCH_SIZE = 8192
+
+#: Default cap on the engine's per-call :attr:`RetrievalEngine.history`.
+DEFAULT_HISTORY_LIMIT = 512
 
 
 @dataclass
@@ -120,19 +138,37 @@ class RetrievalEngine:
         attribute is plain and may be reassigned between calls to A/B
         parallelism.
     plan_policy:
-        Optional :class:`~repro.engine.planner.PlanPolicy` (or dict of its
-        knobs) steering the planner's cost model and axis limits; persisted
-        with the index.  Defaults keep the planner a pure function of call
-        shape and retriever capabilities.
+        How plans pick their cost knobs.  A policy-mode string —
+        ``"fixed"`` (the default: static knobs, the model never consulted),
+        ``"auto"`` (learn per-shape costs online and apply them, veto
+        armed, once confident), or ``"calibrated"`` (apply whatever
+        estimates exist unconditionally, e.g. after loading a persisted
+        model) — or, equivalently to ``"fixed"`` with custom knobs, a
+        :class:`~repro.engine.planner.PlanPolicy` / dict of its knobs.
+        Persisted with the index; see :mod:`repro.engine.calibration`.
+    history_limit:
+        Cap on the per-call :attr:`history` list (default
+        :data:`DEFAULT_HISTORY_LIMIT`; oldest records are evicted first),
+        or ``None`` for unbounded growth.  The cost model keeps learning
+        from every call regardless — eviction only bounds the memory a
+        long-running serving process spends on per-call records.
     **kwargs:
         Constructor arguments forwarded when ``retriever`` is a spec string
         (ignored otherwise; passing them with an instance is an error).
     """
 
-    def __init__(self, retriever, workers: int = 1, plan_policy=None, **kwargs) -> None:
+    def __init__(self, retriever, workers: int = 1, plan_policy=None,
+                 history_limit: int | None = DEFAULT_HISTORY_LIMIT, **kwargs) -> None:
         """Build (from a spec string) or wrap (an instance) the retriever."""
         self.workers = require_positive_int(workers, "workers")
-        self.planner = ExecutionPlanner(PlanPolicy.coerce(plan_policy))
+        self.plan_mode, base_policy = resolve_policy_spec(plan_policy)
+        self.planner = ExecutionPlanner(base_policy)
+        #: Online per-(problem, spec, shape-bucket) cost estimates, fed by
+        #: every completed call and consulted in the auto/calibrated modes.
+        self.cost_model = CostModel()
+        if history_limit is not None:
+            history_limit = require_positive_int(history_limit, "history_limit")
+        self.history_limit = history_limit
         if isinstance(retriever, str):
             self.spec: str | None = retriever
             self._construct_kwargs = dict(kwargs)
@@ -165,8 +201,22 @@ class RetrievalEngine:
 
     @property
     def plan_policy(self) -> PlanPolicy:
-        """The planner's (immutable) cost-model knobs; swap via :attr:`planner`."""
+        """The planner's (immutable) base cost-model knobs.
+
+        Assigning accepts the same specs as the constructor — a mode string
+        (``"fixed"`` / ``"auto"`` / ``"calibrated"``), a
+        :class:`~repro.engine.planner.PlanPolicy`, a dict of knobs, or
+        ``None`` (back to defaults) — and updates :attr:`plan_mode`
+        alongside the planner.  The cost model's learned state is kept:
+        flipping ``"fixed"`` → ``"auto"`` on a warm engine starts planning
+        from everything already observed.
+        """
         return self.planner.policy
+
+    @plan_policy.setter
+    def plan_policy(self, value) -> None:
+        self.plan_mode, base_policy = resolve_policy_spec(value)
+        self.planner = ExecutionPlanner(base_policy)
 
     @property
     def screen_dtype(self) -> str | None:
@@ -264,8 +314,43 @@ class RetrievalEngine:
             return DEFAULT_BATCH_SIZE
         return require_positive_int(batch_size, "batch_size")
 
+    def _model_spec(self) -> str:
+        """The retriever key the cost model files estimates under."""
+        return self.spec or type(self.retriever).__name__
+
+    def _effective_policy(self, problem: str, num_queries: int,
+                          policy_spec) -> tuple[PlanPolicy, str | None]:
+        """Resolve the policy one call plans with, plus its calibration line.
+
+        ``policy_spec`` is the per-call override (``None`` = the engine's
+        configured mode and knobs).  In ``"fixed"`` mode the base knobs are
+        returned untouched; in ``"auto"`` mode the cost model's estimates
+        replace them — veto armed, calibration line attached — once the
+        call's shape bucket is confident; ``"calibrated"`` applies whatever
+        estimates exist (or just arms the veto when none do).  Pure in the
+        engine's current state: calling it twice between calls yields the
+        same policy, which is what keeps ``explain()`` == the recorded plan.
+        """
+        if policy_spec is None:
+            mode, base = self.plan_mode, self.planner.policy
+        else:
+            mode, base = resolve_policy_spec(policy_spec)
+        if mode == MODE_FIXED:
+            return base, None
+        calibration = self.cost_model.lookup(
+            problem, self._model_spec(), num_queries, self.num_probes
+        )
+        if calibration is not None and (calibration.confident or mode == MODE_CALIBRATED):
+            return calibration.policy(base), calibration.describe()
+        if mode == MODE_CALIBRATED:
+            return replace(base, cost_veto=True), (
+                "calibrated mode: no recorded estimates for this shape yet; "
+                "static knobs with cost veto armed"
+            )
+        return base, None
+
     def _plan(self, problem: str, parameter: float, num_queries: int,
-              batch_size: int | None) -> ExecutionPlan:
+              batch_size: int | None, policy_spec=None) -> ExecutionPlan:
         """Build the call's :class:`~repro.engine.planner.ExecutionPlan`.
 
         With a :class:`~repro.serve.WorkerPool` attached
@@ -273,6 +358,7 @@ class RetrievalEngine:
         worker count is the pool size and the planner emits a
         ``backend="processes"`` plan the executor routes to the pool.
         """
+        policy, calibration = self._effective_policy(problem, num_queries, policy_spec)
         if self.worker_pool is not None:
             return self.planner.plan(
                 problem=problem,
@@ -282,6 +368,8 @@ class RetrievalEngine:
                 workers=self.worker_pool.size,
                 retriever=self.retriever,
                 backend=BACKEND_PROCESSES,
+                policy=policy,
+                calibration=calibration,
             )
         return self.planner.plan(
             problem=problem,
@@ -290,6 +378,8 @@ class RetrievalEngine:
             batch_size=self._resolve_batch_size(batch_size),
             workers=self.workers,
             retriever=self.retriever,
+            policy=policy,
+            calibration=calibration,
         )
 
     def use_worker_pool(self, pool) -> "RetrievalEngine":
@@ -311,15 +401,20 @@ class RetrievalEngine:
         return self
 
     def explain(self, queries, *, theta: float | None = None, k: int | None = None,
-                batch_size: int | None = None) -> ExecutionPlan:
+                batch_size: int | None = None, policy=None) -> ExecutionPlan:
         """The plan the matching call would execute, without executing it.
 
         Exactly one of ``theta`` (Above-θ) or ``k`` (Row-Top-k) selects the
         problem; ``queries`` is the query matrix — or, as a convenience, a
-        plain row count, since planning only reads the shape.  The returned
-        plan compares equal (``==``) to the :attr:`EngineCall.plan` the real
-        call records, provided the engine state (index, :attr:`workers`,
-        policy) is unchanged in between::
+        plain row count, since planning only reads the shape.  ``policy``
+        overrides the engine's configured policy for this plan (same specs
+        as the constructor: a mode string, a
+        :class:`~repro.engine.planner.PlanPolicy`, or a knob dict).  The
+        returned plan compares equal (``==``) to the
+        :attr:`EngineCall.plan` the real call records, provided the engine
+        state (index, :attr:`workers`, policy — and, in the auto mode, the
+        cost model, which every completed call updates) is unchanged in
+        between::
 
             plan = engine.explain(queries, k=10, batch_size=4096)
             print(plan.describe())
@@ -339,10 +434,10 @@ class RetrievalEngine:
         if theta is not None:
             require_positive(theta, "theta")
             _require_method(self.retriever, "above_theta")
-            return self._plan("above_theta", float(theta), num_queries, batch_size)
+            return self._plan("above_theta", float(theta), num_queries, batch_size, policy)
         require_positive_int(k, "k")
         _require_method(self.retriever, "row_top_k")
-        return self._plan("row_top_k", float(k), num_queries, batch_size)
+        return self._plan("row_top_k", float(k), num_queries, batch_size, policy)
 
     def _executor(self, workers: int) -> ThreadPoolExecutor:
         """The engine-owned chunk-axis pool, (re)created lazily.
@@ -388,7 +483,8 @@ class RetrievalEngine:
 
         yield from self._plan_executor.run(plan, queries, solve)
 
-    def iter_above_theta(self, queries, theta: float, batch_size: int | None = None):
+    def iter_above_theta(self, queries, theta: float, batch_size: int | None = None,
+                         policy=None):
         """Yield ``(row_offset, AboveThetaResult)`` per query batch.
 
         Batch results carry batch-local query ids; add ``row_offset`` (or use
@@ -411,15 +507,20 @@ class RetrievalEngine:
         queries = as_float_matrix(queries, "queries")
         require_positive(theta, "theta")
         _require_method(self.retriever, "above_theta")
-        plan = self._plan("above_theta", float(theta), queries.shape[0], batch_size)
+        plan = self._plan("above_theta", float(theta), queries.shape[0], batch_size, policy)
         yield from self._iter_above(queries, theta, plan)
 
-    def above_theta(self, queries, theta: float, batch_size: int | None = None) -> AboveThetaResult:
-        """Solve Above-θ over the full query matrix in bounded batches."""
+    def above_theta(self, queries, theta: float, batch_size: int | None = None,
+                    policy=None) -> AboveThetaResult:
+        """Solve Above-θ over the full query matrix in bounded batches.
+
+        ``policy`` overrides the engine's configured plan policy for this
+        one call (same specs as the constructor's ``plan_policy``).
+        """
         queries = as_float_matrix(queries, "queries")
         require_positive(theta, "theta")
         _require_method(self.retriever, "above_theta")
-        plan = self._plan("above_theta", float(theta), queries.shape[0], batch_size)
+        plan = self._plan("above_theta", float(theta), queries.shape[0], batch_size, policy)
         offsets: list[int] = []
         parts: list[AboveThetaResult] = []
         hits_before, misses_before = self._tuning_counters()
@@ -438,20 +539,26 @@ class RetrievalEngine:
 
         yield from self._plan_executor.run(plan, queries, solve)
 
-    def iter_row_top_k(self, queries, k: int, batch_size: int | None = None):
+    def iter_row_top_k(self, queries, k: int, batch_size: int | None = None,
+                       policy=None):
         """Yield ``(row_offset, TopKResult)`` per query batch."""
         queries = as_float_matrix(queries, "queries")
         require_positive_int(k, "k")
         _require_method(self.retriever, "row_top_k")
-        plan = self._plan("row_top_k", float(k), queries.shape[0], batch_size)
+        plan = self._plan("row_top_k", float(k), queries.shape[0], batch_size, policy)
         yield from self._iter_top_k(queries, k, plan)
 
-    def row_top_k(self, queries, k: int, batch_size: int | None = None) -> TopKResult:
-        """Solve Row-Top-k over the full query matrix in bounded batches."""
+    def row_top_k(self, queries, k: int, batch_size: int | None = None,
+                  policy=None) -> TopKResult:
+        """Solve Row-Top-k over the full query matrix in bounded batches.
+
+        ``policy`` overrides the engine's configured plan policy for this
+        one call (same specs as the constructor's ``plan_policy``).
+        """
         queries = as_float_matrix(queries, "queries")
         require_positive_int(k, "k")
         _require_method(self.retriever, "row_top_k")
-        plan = self._plan("row_top_k", float(k), queries.shape[0], batch_size)
+        plan = self._plan("row_top_k", float(k), queries.shape[0], batch_size, policy)
         parts: list[TopKResult] = []
         hits_before, misses_before = self._tuning_counters()
         with Timer() as timer:
@@ -465,13 +572,18 @@ class RetrievalEngine:
     def _record(self, plan: ExecutionPlan, num_batches: int, seconds: float,
                 num_results: int, hits_before: int = 0, misses_before: int = 0) -> None:
         hits_after, misses_after = self._tuning_counters()
-        self.history.append(
-            EngineCall(plan.problem, plan.parameter, plan.num_queries,
-                       num_batches, seconds, num_results,
-                       tuning_cache_hits=hits_after - hits_before,
-                       tuning_cache_misses=misses_after - misses_before,
-                       plan=plan)
-        )
+        call = EngineCall(plan.problem, plan.parameter, plan.num_queries,
+                          num_batches, seconds, num_results,
+                          tuning_cache_hits=hits_after - hits_before,
+                          tuning_cache_misses=misses_after - misses_before,
+                          plan=plan)
+        self.history.append(call)
+        if self.history_limit is not None and len(self.history) > self.history_limit:
+            del self.history[: len(self.history) - self.history_limit]
+        # The model ingests every completed call regardless of policy mode,
+        # so flipping to "auto" later starts from a warm estimate — and it
+        # ingests *after* planning, so explain() == the recorded plan.
+        self.cost_model.observe(call, spec=self._model_spec(), num_probes=self.num_probes)
 
     # ------------------------------------------------------------ persistence
 
@@ -508,7 +620,9 @@ class QueryBuilder:
 
     Terminal methods: :meth:`top_k`, :meth:`above` (merged results),
     :meth:`top_k_batches`, :meth:`above_batches` (streaming per-batch), and
-    :meth:`explain_top_k` / :meth:`explain_above` (the plan, not executed).
+    :meth:`explain` (the plan, not executed).  :meth:`policy` overrides the
+    engine's plan policy for the built call —
+    ``engine.query(q).policy("auto").top_k(10)``.
     """
 
     def __init__(self, engine: RetrievalEngine, queries) -> None:
@@ -516,35 +630,86 @@ class QueryBuilder:
         self._engine = engine
         self._queries = queries
         self._batch_size: int | None = None
+        self._policy = None
 
     def batch_size(self, size: int) -> "QueryBuilder":
         """Set the chunk size used to split the query matrix."""
         self._batch_size = require_positive_int(size, "batch_size")
         return self
 
+    def policy(self, spec) -> "QueryBuilder":
+        """Override the engine's plan policy for this call.
+
+        Accepts the same specs as ``RetrievalEngine(plan_policy=...)``:
+        ``"fixed"`` / ``"auto"`` / ``"calibrated"``, a
+        :class:`~repro.engine.planner.PlanPolicy`, or a dict of knobs.
+        Validated eagerly so a typo fails here, not at the terminal call.
+        """
+        resolve_policy_spec(spec)
+        self._policy = spec
+        return self
+
     def top_k(self, k: int) -> TopKResult:
         """Run Row-Top-k and return the merged result."""
-        return self._engine.row_top_k(self._queries, k, batch_size=self._batch_size)
+        return self._engine.row_top_k(
+            self._queries, k, batch_size=self._batch_size, policy=self._policy
+        )
 
     def above(self, theta: float) -> AboveThetaResult:
         """Run Above-θ and return the merged result."""
-        return self._engine.above_theta(self._queries, theta, batch_size=self._batch_size)
+        return self._engine.above_theta(
+            self._queries, theta, batch_size=self._batch_size, policy=self._policy
+        )
 
     def top_k_batches(self, k: int):
         """Yield ``(row_offset, TopKResult)`` per batch without merging."""
-        return self._engine.iter_row_top_k(self._queries, k, self._batch_size)
+        return self._engine.iter_row_top_k(
+            self._queries, k, self._batch_size, policy=self._policy
+        )
 
     def above_batches(self, theta: float):
         """Yield ``(row_offset, AboveThetaResult)`` per batch without merging."""
-        return self._engine.iter_above_theta(self._queries, theta, self._batch_size)
+        return self._engine.iter_above_theta(
+            self._queries, theta, self._batch_size, policy=self._policy
+        )
+
+    def explain(self, *, theta: float | None = None, k: int | None = None) -> ExecutionPlan:
+        """The plan the matching terminal would execute, without executing it.
+
+        Exactly one of ``theta`` or ``k`` infers the problem, mirroring
+        :meth:`RetrievalEngine.explain`; the builder's batch size and policy
+        override apply.
+        """
+        return self._engine.explain(
+            self._queries, theta=theta, k=k,
+            batch_size=self._batch_size, policy=self._policy,
+        )
 
     def explain_top_k(self, k: int) -> ExecutionPlan:
-        """The plan :meth:`top_k` would execute, without executing it."""
-        return self._engine.explain(self._queries, k=k, batch_size=self._batch_size)
+        """Deprecated alias for ``explain(k=...)``.
+
+        .. deprecated:: 2.6
+            Use the unified :meth:`explain`.
+        """
+        warnings.warn(
+            "QueryBuilder.explain_top_k(k) is deprecated; use explain(k=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.explain(k=k)
 
     def explain_above(self, theta: float) -> ExecutionPlan:
-        """The plan :meth:`above` would execute, without executing it."""
-        return self._engine.explain(self._queries, theta=theta, batch_size=self._batch_size)
+        """Deprecated alias for ``explain(theta=...)``.
+
+        .. deprecated:: 2.6
+            Use the unified :meth:`explain`.
+        """
+        warnings.warn(
+            "QueryBuilder.explain_above(theta) is deprecated; use explain(theta=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.explain(theta=theta)
 
 
 def _require_method(retriever, method: str):

@@ -5,9 +5,11 @@ A saved index is a directory with two files:
 * ``meta.json`` — format version, library version, the retriever spec string
   and its constructor arguments, basic shape information, the engine's
   non-default :class:`~repro.engine.planner.PlanPolicy` knobs (under
-  ``"plan_policy"``), and (for retrievers with a
-  :class:`~repro.core.tuning_cache.TuningCache`) the cached tuning entries
-  keyed by content fingerprints;
+  ``"plan_policy"``), its calibration state (``"plan_mode"`` when not
+  ``"fixed"``, plus the fitted
+  :class:`~repro.engine.calibration.CostModel` under ``"cost_model"``), and
+  (for retrievers with a :class:`~repro.core.tuning_cache.TuningCache`) the
+  cached tuning entries keyed by content fingerprints;
 * ``index.npz`` — the normalised probe matrix plus, when the retriever
   implements :meth:`~repro.core.api.Retriever.index_state`, the fitted index
   arrays (stored under a ``state.`` key prefix).
@@ -69,6 +71,15 @@ from repro.exceptions import NotPreparedError, PersistenceError
 #:    readers would choke only on the unknown ``state.`` members, hence the
 #:    bump; format-1/2/3 indexes keep loading here — without tier arrays the
 #:    tier is rebuilt lazily on the first screened query.
+#:    The calibration layer later added two more optional meta keys —
+#:    ``meta["plan_mode"]`` (the engine's policy mode when not ``"fixed"``)
+#:    and ``meta["cost_model"]`` (the fitted
+#:    :class:`~repro.engine.calibration.CostModel` state, so a reloaded
+#:    engine plans from its learned costs — veto armed — immediately, with
+#:    no re-learning).  Purely additive, so the format number stays 4:
+#:    readers without the calibration layer ignore both keys, and
+#:    ``CostModel.from_dict`` loads leniently (malformed or newer-version
+#:    entries are dropped, never fatal).
 FORMAT_VERSION = 4
 
 #: Format versions :func:`load_engine` accepts.
@@ -139,6 +150,13 @@ def save_engine(engine, path) -> None:
     plan_policy = engine.plan_policy.non_default_dict()
     if plan_policy:
         meta["plan_policy"] = plan_policy
+    from repro.engine.calibration import MODE_FIXED
+
+    if getattr(engine, "plan_mode", MODE_FIXED) != MODE_FIXED:
+        meta["plan_mode"] = engine.plan_mode
+    cost_model = getattr(engine, "cost_model", None)
+    if cost_model is not None and cost_model.num_entries:
+        meta["cost_model"] = cost_model.to_dict()
     if _is_blsh_retriever(engine.retriever):
         meta["blsh_base"] = BLSH_BASE_SEMANTICS
     cache = getattr(engine.retriever, "tuning_cache", None)
@@ -216,6 +234,16 @@ def load_engine(path, mmap_mode: str | None = None):
         meta["spec"], workers=int(meta.get("workers", 1)),
         plan_policy=plan_policy, **meta.get("kwargs", {})
     )
+    # Calibration state travels additively: the policy mode (when not
+    # "fixed") and the fitted cost model, both loaded leniently so an index
+    # saved by a newer — or hand-edited — library still opens.
+    from repro.engine.calibration import POLICY_MODES, CostModel
+
+    saved_mode = meta.get("plan_mode")
+    if saved_mode in POLICY_MODES:
+        engine.plan_mode = saved_mode
+    if meta.get("cost_model"):
+        engine.cost_model = CostModel.from_dict(meta["cost_model"])
     if _is_blsh_retriever(engine.retriever) and meta.get("blsh_base") != BLSH_BASE_SEMANTICS:
         # A ratchet-era LEMP-BLSH index: the saved index itself is fine (the
         # signature filter was never serialised), but queries now run with

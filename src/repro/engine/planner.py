@@ -32,12 +32,17 @@ default they never veto a shape (``cost_veto=False``), so routing is a
 deterministic function of shape + capabilities alone.  The knobs ship with
 defaults calibrated on the CI smoke workload and can be overridden per engine
 (``RetrievalEngine(..., plan_policy={...})``); they persist with the index in
-``meta.json`` and can be re-derived from observed calls with
-:meth:`PlanPolicy.calibrated`.
+``meta.json``.  To *learn* them from observed calls instead, put the engine
+in the ``"auto"`` policy mode (:mod:`repro.engine.calibration`): the engine's
+:class:`~repro.engine.calibration.CostModel` then supplies measured
+per-shape knobs — with ``cost_veto`` armed — as the per-call ``policy``
+override of :meth:`ExecutionPlanner.plan`, and the plan carries a
+``calibration`` line naming the estimates used.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, fields, replace
 
 from repro.exceptions import InvalidParameterError
@@ -166,13 +171,25 @@ class PlanPolicy:
     def calibrated(self, calls, num_probes: int) -> "PlanPolicy":
         """A copy with ``pair_seconds`` measured from recorded engine calls.
 
+        .. deprecated:: 2.6
+            Use the ``"auto"`` policy mode instead
+            (``RetrievalEngine(..., plan_policy="auto")``): the engine's
+            :class:`~repro.engine.calibration.CostModel` learns per-shape
+            estimates online, arms ``cost_veto`` once confident, and
+            persists with the index — this one-shot median has no shape
+            awareness, no dispatch estimate, and no confidence rule.
+
         ``calls`` is an iterable of :class:`~repro.engine.facade.EngineCall`
         records (e.g. ``engine.history``); only serial, non-empty calls are
         used (sharded timings would under-estimate the serial pair cost).
-        Calibration is an explicit step — plans never read timings on their
-        own, so two identical calls always produce identical plans until the
-        caller installs a recalibrated policy.
         """
+        warnings.warn(
+            "PlanPolicy.calibrated() is deprecated; use the 'auto' policy "
+            "mode (RetrievalEngine(..., plan_policy=\"auto\")) — the engine's "
+            "CostModel learns per-shape estimates online and persists them",
+            FutureWarning,
+            stacklevel=2,
+        )
         samples = [
             call.seconds / (call.num_queries * num_probes)
             for call in calls
@@ -274,6 +291,13 @@ class ExecutionPlan:
     #: many candidates reach the exact kernel, never the plan's shape or the
     #: results (see :mod:`repro.core.screening`).
     screen_dtype: str | None = None
+    #: One-line description of the learned cost estimates this plan was
+    #: built with (the :class:`~repro.engine.calibration.Calibration`'s
+    #: :meth:`~repro.engine.calibration.Calibration.describe` output), or
+    #: ``None`` when the plan used the policy's static knobs.  Purely
+    #: informational — but part of plan equality, so ``explain()`` and the
+    #: recorded call agree on *which* estimates steered the shape.
+    calibration: str | None = None
 
     @property
     def num_batches(self) -> int:
@@ -317,6 +341,8 @@ class ExecutionPlan:
             f"({self.estimate.dispatched_tasks} dispatched tasks, "
             f"modelled speedup {self.estimate.speedup:.2f}x)"
         )
+        if self.calibration is not None:
+            lines.append(f"  calibration   : {self.calibration}")
         lines.append(f"  reason        : {self.reason}")
         return "\n".join(lines)
 
@@ -366,9 +392,9 @@ class ExecutionPlanner:
 
     # ------------------------------------------------------------- cost model
 
-    def _estimate(self, num_queries: int, num_probes: int, chunks,
+    @staticmethod
+    def _estimate(policy: PlanPolicy, num_queries: int, num_probes: int, chunks,
                   workers: int, probe_shards: int) -> CostEstimate:
-        policy = self.policy
         pair = policy.pair_seconds
         serial = num_queries * num_probes * pair
         probe_tasks_per_chunk = max(0, probe_shards - 1)
@@ -393,7 +419,9 @@ class ExecutionPlanner:
 
     def plan(self, *, problem: str, parameter: float, num_queries: int,
              batch_size: int, workers: int, retriever,
-             backend: str = BACKEND_THREADS) -> ExecutionPlan:
+             backend: str = BACKEND_THREADS,
+             policy: PlanPolicy | None = None,
+             calibration: str | None = None) -> ExecutionPlan:
         """Build the plan for one call; pure in all of its inputs.
 
         ``workers`` is the engine's configured thread count (or, for the
@@ -401,9 +429,14 @@ class ExecutionPlanner:
         ``workers`` field is what the chunk axis will actually use.
         ``backend`` selects where chunks run: :data:`BACKEND_THREADS` (the
         default) or :data:`BACKEND_PROCESSES` when the engine has a
-        :class:`~repro.serve.WorkerPool` attached.
+        :class:`~repro.serve.WorkerPool` attached.  ``policy`` overrides the
+        planner's own policy for this call (how the engine applies a learned
+        :class:`~repro.engine.calibration.Calibration` or a per-call
+        ``policy=`` argument without mutating planner state); ``calibration``
+        is the one-line provenance string stamped onto the plan when the
+        overriding knobs were measured rather than configured.
         """
-        policy = self.policy
+        policy = self.policy if policy is None else policy
         chunks = tuple(
             (start, min(start + batch_size, num_queries))
             for start in range(0, num_queries, batch_size)
@@ -431,10 +464,11 @@ class ExecutionPlanner:
                 merge="plan-order",
                 reason=reason,
                 estimate=self._estimate(
-                    num_queries, num_probes, chunks, chunk_workers, probe_shards
+                    policy, num_queries, num_probes, chunks, chunk_workers, probe_shards
                 ),
                 backend=plan_backend,
                 screen_dtype=getattr(retriever, "screen_dtype", None),
+                calibration=calibration,
             )
 
         if num_batches == 0:

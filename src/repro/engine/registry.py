@@ -258,7 +258,7 @@ def available_specs() -> tuple[str, ...]:
     return tuple(specs)
 
 
-def spec_capabilities(spec: str) -> dict:
+def spec_capabilities(spec: str, engine=None) -> dict:
     """Capability flags of the method behind ``spec``, as a plain dict.
 
     The flags are what the :class:`~repro.engine.planner.ExecutionPlanner`
@@ -277,6 +277,13 @@ def spec_capabilities(spec: str) -> dict:
     Flags are probed once per concrete spec on a default-constructed,
     unfitted instance (capabilities are class-level contracts, not fitted
     state) and cached on the registration.
+
+    Pass a live :class:`~repro.engine.facade.RetrievalEngine` as ``engine``
+    to additionally report instance state: ``calibrated`` — whether that
+    engine's :class:`~repro.engine.calibration.CostModel` currently holds a
+    confident estimate (i.e. the ``"auto"`` policy mode would already plan
+    from measured costs).  The key is only present when ``engine`` is given,
+    keeping the spec-level dict purely class-level.
     """
     canonical = normalize_spec(spec)
     name, _, _ = split_spec(canonical)
@@ -290,7 +297,11 @@ def spec_capabilities(spec: str) -> dict:
             "probe_sharding": bool(getattr(instance, "supports_probe_sharding", False)),
             "updates": bool(getattr(instance, "supports_updates", False)),
         }
-    return dict(registration._capabilities[canonical])
+    flags = dict(registration._capabilities[canonical])
+    if engine is not None:
+        model = getattr(engine, "cost_model", None)
+        flags["calibrated"] = bool(model is not None and model.has_confident_estimates())
+    return flags
 
 
 def spec_is_exact(spec: str) -> bool:

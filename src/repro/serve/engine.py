@@ -174,6 +174,19 @@ class ServingEngine:
         """Rows admitted but not yet answered (queued + solving)."""
         return self._inflight_rows
 
+    @property
+    def cost_model(self):
+        """The wrapped engine's :class:`~repro.engine.calibration.CostModel`.
+
+        Served traffic calibrates for free: every flushed micro-batch runs
+        through the engine's normal call path on the solver thread, so each
+        batch is observed by the same model — and steered by it when the
+        engine's policy mode is ``"auto"`` / ``"calibrated"``.  Batches of
+        similar size land in the same shape bucket, which is exactly the
+        shape whose costs matter for this server's plans.
+        """
+        return getattr(self.engine, "cost_model", None)
+
     # --------------------------------------------------------------- requests
 
     async def above_theta(self, queries, theta: float, *,
@@ -322,6 +335,7 @@ def serve_compatibility(engine) -> dict:
         if callable(getattr(retriever, problem, None))
     ]
     mmap_capable = hasattr(retriever, "index_state") and _overrides_restore(retriever)
+    model = getattr(engine, "cost_model", None)
     return {
         "spec": engine.spec,
         "problems": problems,
@@ -334,6 +348,8 @@ def serve_compatibility(engine) -> dict:
             "warm tuning cache" if getattr(retriever, "tuning_cache", None) is not None
             else "always"
         ),
+        "plan_mode": getattr(engine, "plan_mode", "fixed"),
+        "calibrated": bool(model is not None and model.has_confident_estimates()),
     }
 
 
@@ -349,5 +365,7 @@ def describe_serve_compatibility(engine) -> str:
         f"  mmap index       : {'yes' if compat['mmap_index'] else 'no (refit on load)'}",
         f"  process backend  : {'yes' if compat['process_backend'] else 'no'}",
         f"  counters         : deterministic ({compat['deterministic_counters']})",
+        f"  plan policy      : {compat['plan_mode']} "
+        f"({'confident cost model' if compat['calibrated'] else 'no confident cost model yet'})",
     ]
     return "\n".join(lines)

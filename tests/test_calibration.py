@@ -1,0 +1,472 @@
+"""Harness for the online-calibration layer and the policy-spec API.
+
+Four contracts are locked down here:
+
+* **Model determinism** — feeding the same synthetic call history into two
+  :class:`~repro.engine.calibration.CostModel` instances yields identical
+  state, with EWMA values matching the hand-computed recurrence, and the
+  fitted state round-trips ``to_dict`` / ``from_dict`` exactly.
+* **Confidence gating** — in the ``"auto"`` policy mode plans are identical
+  to ``"fixed"`` plans until a shape bucket reaches the min-observation
+  threshold, and from then on carry the measured knobs, the armed cost
+  veto, and a ``calibration:`` line — while ``explain()`` still returns
+  exactly the plan the next call records.
+* **Calibration never changes results** — across the retriever grid and a
+  (workers, batch) grid, every plan the auto policy emits returns
+  byte-identical results and equal integer counters versus a serial run of
+  the same warm engine.
+* **Persistence** — the fitted model and the policy mode travel additively
+  in ``meta.json`` (eager and mmap loads), so a reloaded engine plans from
+  its learned costs — veto armed — immediately; malformed saved state is
+  dropped leniently, never fatal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import RetrievalEngine
+from repro.engine import (
+    Calibration,
+    CostEstimate,
+    CostModel,
+    EngineCall,
+    ExecutionPlan,
+    PlanPolicy,
+    spec_capabilities,
+)
+from repro.engine.calibration import (
+    DEFAULT_EWMA_ALPHA,
+    DEFAULT_MIN_OBSERVATIONS,
+    MODE_AUTO,
+    MODE_CALIBRATED,
+    MODE_FIXED,
+    resolve_policy_spec,
+    shape_bucket,
+)
+from repro.exceptions import InvalidParameterError
+from tests.conftest import make_factors, pick_theta
+from tests.test_planner import assert_bytes_equal, delta, snapshot
+
+ALGORITHMS = ("L", "I", "LI", "L2AP", "BLSH")
+
+QUERIES = make_factors(48, rank=10, length_cov=1.0, seed=41)
+PROBES = make_factors(220, rank=10, length_cov=1.0, seed=42)
+THETA = pick_theta(QUERIES, PROBES, 110)
+K = 5
+
+#: (workers, batch_size) shapes the auto-vs-serial equivalence sweep covers:
+#: combined, probe-only, and chunk-saturated plans.
+SHAPES = ((4, 16), (4, 48), (3, 12))
+
+
+def make_plan(problem="row_top_k", num_queries=100, workers=1, probe_shards=1,
+              dispatched_tasks=0, backend="threads"):
+    """A minimal synthetic plan carrying just what the cost model reads."""
+    return ExecutionPlan(
+        problem=problem, parameter=5.0, num_queries=num_queries,
+        batch_size=num_queries, chunks=((0, num_queries),), workers=workers,
+        probe_shards=probe_shards, probe_axis=None, probe_shard_ranges=(),
+        warmup=workers > 1, merge="plan-order", reason="synthetic",
+        estimate=CostEstimate(0.0, 0.0, dispatched_tasks), backend=backend,
+    )
+
+
+def make_call(seconds, num_queries=100, plan=None, **plan_kwargs):
+    if plan is None:
+        plan = make_plan(num_queries=num_queries, **plan_kwargs)
+    return EngineCall(plan.problem, plan.parameter, num_queries, 1,
+                      seconds, 0, plan=plan)
+
+
+def calibrate(engine, rounds=DEFAULT_MIN_OBSERVATIONS, batch_size=16):
+    """Feed ``rounds`` serial observations per problem into the engine's model."""
+    assert engine.workers == 1
+    for _ in range(rounds):
+        engine.above_theta(QUERIES, THETA, batch_size=batch_size)
+        engine.row_top_k(QUERIES, K, batch_size=batch_size)
+
+
+# ------------------------------------------------------------------ the model
+
+
+class TestCostModel:
+    def test_fixed_history_is_deterministic(self):
+        history = [make_call(0.2), make_call(0.4), make_call(0.3)]
+        first, second = CostModel(), CostModel()
+        for model in (first, second):
+            for call in history:
+                model.observe(call, spec="lemp:LI", num_probes=1000)
+        assert first.to_dict() == second.to_dict()
+
+        # EWMA by hand: samples are seconds / (100 * 1000) pairs.
+        alpha = DEFAULT_EWMA_ALPHA
+        expected = 0.2 / 1e5
+        expected = (1 - alpha) * expected + alpha * 0.4 / 1e5
+        expected = (1 - alpha) * expected + alpha * 0.3 / 1e5
+        estimate = first.lookup("row_top_k", "lemp:LI", 100, 1000)
+        assert estimate.pair_seconds == pytest.approx(expected)
+        assert estimate.pair_observations == 3
+        assert estimate.dispatch_seconds is None
+        assert not estimate.confident
+
+    def test_sharded_calls_update_dispatch_estimate(self):
+        model = CostModel()
+        model.observe(make_call(0.2), spec="s", num_probes=1000)
+        pair = model.lookup("row_top_k", "s", 100, 1000).pair_seconds
+        sharded = make_call(0.5, workers=2, dispatched_tasks=3)
+        model.observe(sharded, spec="s", num_probes=1000)
+        estimate = model.lookup("row_top_k", "s", 100, 1000)
+        expected = max(0.0, 0.5 - pair * 100 * 1000 / 2) / 3
+        assert estimate.dispatch_seconds == pytest.approx(expected)
+        assert estimate.dispatch_observations == 1
+        # pair stays untouched by sharded timings
+        assert estimate.pair_seconds == pytest.approx(pair)
+
+    def test_dispatch_only_history_yields_no_estimate(self):
+        model = CostModel()
+        model.observe(make_call(0.5, workers=2, dispatched_tasks=3),
+                      spec="s", num_probes=1000)
+        assert model.lookup("row_top_k", "s", 100, 1000) is None
+        assert model.num_observations == 0
+
+    def test_signal_free_calls_are_ignored(self):
+        model = CostModel()
+        model.observe(make_call(0.0), spec="s", num_probes=1000)       # no time
+        model.observe(make_call(0.2, num_queries=0), spec="s", num_probes=1000)
+        model.observe(make_call(0.2), spec="s", num_probes=0)          # no probes
+        model.observe(EngineCall("row_top_k", 5.0, 100, 1, 0.2, 0),    # no plan
+                      spec="s", num_probes=1000)
+        # process-backend calls carry no thread-dispatch signal either way,
+        # but must not be mistaken for serial pair samples
+        model.observe(make_call(0.2, backend="processes"), spec="s", num_probes=1000)
+        assert model.num_entries == 0
+
+    def test_shape_buckets_separate_estimates(self):
+        model = CostModel()
+        model.observe(make_call(0.2, num_queries=100), spec="s", num_probes=1000)
+        assert model.lookup("row_top_k", "s", 100, 1000) is not None
+        # same power-of-two magnitude: shared bucket
+        assert model.lookup("row_top_k", "s", 80, 1000) is not None
+        # different magnitude: unseen bucket
+        assert model.lookup("row_top_k", "s", 1000, 1000) is None
+        assert model.lookup("row_top_k", "other-spec", 100, 1000) is None
+        assert model.lookup("above_theta", "s", 100, 1000) is None
+        assert shape_bucket(100, 1000) == (7, 10)
+
+    def test_confidence_threshold(self):
+        model = CostModel(min_observations=3)
+        for _ in range(2):
+            model.observe(make_call(0.2), spec="s", num_probes=1000)
+        assert not model.has_confident_estimates()
+        assert not model.lookup("row_top_k", "s", 100, 1000).confident
+        model.observe(make_call(0.2), spec="s", num_probes=1000)
+        assert model.has_confident_estimates()
+        assert model.lookup("row_top_k", "s", 100, 1000).confident
+
+    def test_dict_roundtrip_and_lenient_load(self):
+        model = CostModel()
+        model.observe(make_call(0.2), spec="s", num_probes=1000)
+        model.observe(make_call(0.5, workers=2, dispatched_tasks=3),
+                      spec="s", num_probes=1000)
+        restored = CostModel.from_dict(model.to_dict())
+        assert restored.to_dict() == model.to_dict()
+
+        # lenient: garbage shapes are dropped, never fatal
+        assert CostModel.from_dict(None).num_entries == 0
+        assert CostModel.from_dict({"alpha": "huge"}).alpha == DEFAULT_EWMA_ALPHA
+        state = model.to_dict()
+        state["entries"].append({"problem": "x"})          # missing fields
+        state["entries"].append("not-a-dict")
+        partial = CostModel.from_dict(state)
+        assert partial.num_entries == model.num_entries
+
+    def test_validates_knobs(self):
+        with pytest.raises(InvalidParameterError, match="alpha"):
+            CostModel(alpha=0.0)
+        with pytest.raises(InvalidParameterError, match="min_observations"):
+            CostModel(min_observations=0)
+
+    def test_calibration_policy_and_describe(self):
+        estimate = Calibration(
+            problem="row_top_k", spec="lemp:LI", shape=(7, 10),
+            pair_seconds=2e-6, pair_observations=6,
+            dispatch_seconds=None, dispatch_observations=0, confident=True,
+        )
+        derived = estimate.policy(PlanPolicy(max_probe_shards=2))
+        assert derived.pair_seconds == 2e-6
+        assert derived.cost_veto is True
+        assert derived.max_probe_shards == 2          # base knobs survive
+        assert derived.dispatch_seconds == PlanPolicy().dispatch_seconds
+        line = estimate.describe()
+        assert "row_top_k@lemp:LI" in line
+        assert "cost veto armed" in line
+        assert "6 obs" in line
+
+
+# ------------------------------------------------------------ the policy spec
+
+
+class TestPolicySpec:
+    def test_mode_strings_resolve(self):
+        assert resolve_policy_spec(None) == (MODE_FIXED, PlanPolicy())
+        assert resolve_policy_spec("auto") == (MODE_AUTO, PlanPolicy())
+        assert resolve_policy_spec(" Calibrated ") == (MODE_CALIBRATED, PlanPolicy())
+        mode, policy = resolve_policy_spec(PlanPolicy(cost_veto=True))
+        assert (mode, policy) == (MODE_FIXED, PlanPolicy(cost_veto=True))
+        mode, policy = resolve_policy_spec({"max_probe_shards": 2})
+        assert (mode, policy) == (MODE_FIXED, PlanPolicy(max_probe_shards=2))
+
+    def test_unknown_spec_rejected_everywhere(self):
+        with pytest.raises(InvalidParameterError, match="bogus"):
+            resolve_policy_spec("bogus")
+        with pytest.raises(InvalidParameterError, match="bogus"):
+            RetrievalEngine("lemp:LI", seed=0, plan_policy="bogus")
+        engine = RetrievalEngine("lemp:LI", seed=0).fit(PROBES)
+        with pytest.raises(InvalidParameterError, match="bogus"):
+            engine.query(QUERIES).policy("bogus")     # eager, not at the terminal
+        with pytest.raises(InvalidParameterError, match="bogus"):
+            engine.explain(QUERIES, k=K, policy="bogus")
+
+    def test_plan_policy_setter_updates_mode_and_knobs(self):
+        engine = RetrievalEngine("lemp:LI", seed=0)
+        assert engine.plan_mode == MODE_FIXED
+        engine.plan_policy = "auto"
+        assert engine.plan_mode == MODE_AUTO
+        assert engine.plan_policy == PlanPolicy()
+        engine.plan_policy = {"cost_veto": True}
+        assert engine.plan_mode == MODE_FIXED
+        assert engine.plan_policy == PlanPolicy(cost_veto=True)
+        engine.plan_policy = None
+        assert (engine.plan_mode, engine.plan_policy) == (MODE_FIXED, PlanPolicy())
+
+    def test_builder_policy_threads_to_terminals(self):
+        engine = RetrievalEngine("lemp:LI", seed=0, workers=4).fit(PROBES)
+        default_plan = engine.query(QUERIES).batch_size(48).explain(k=K)
+        assert default_plan.probe_shards > 1
+        capped = (
+            engine.query(QUERIES).batch_size(48)
+            .policy(PlanPolicy(max_probe_shards=1)).explain(k=K)
+        )
+        assert capped.probe_shards == 1
+        engine.query(QUERIES).batch_size(48).policy(PlanPolicy(max_probe_shards=1)).top_k(K)
+        assert engine.history[-1].plan == capped
+
+    def test_per_call_policy_override(self):
+        engine = RetrievalEngine("lemp:LI", seed=0, workers=4).fit(PROBES)
+        plan = engine.explain(QUERIES, k=K, batch_size=48,
+                              policy={"max_probe_shards": 1})
+        assert plan.probe_shards == 1
+        engine.row_top_k(QUERIES, K, batch_size=48, policy={"max_probe_shards": 1})
+        assert engine.history[-1].plan == plan
+        # the engine's configured policy is untouched
+        assert engine.plan_policy == PlanPolicy()
+        assert engine.explain(QUERIES, k=K, batch_size=48).probe_shards > 1
+
+
+# ------------------------------------------------------------- planning modes
+
+
+class TestAutoMode:
+    def test_confidence_flip_gates_calibrated_planning(self):
+        engine = RetrievalEngine("lemp:LI", seed=0, plan_policy="auto").fit(PROBES)
+        for _ in range(DEFAULT_MIN_OBSERVATIONS - 1):
+            engine.row_top_k(QUERIES, K, batch_size=16)
+        engine.workers = 4
+        pre = engine.explain(QUERIES, k=K, batch_size=16)
+        assert pre.calibration is None
+        assert pre == engine.explain(QUERIES, k=K, batch_size=16, policy="fixed")
+
+        engine.workers = 1
+        engine.row_top_k(QUERIES, K, batch_size=16)   # observation #min_observations
+        engine.workers = 4
+        post = engine.explain(QUERIES, k=K, batch_size=16)
+        assert post.calibration is not None
+        assert "confident" in post.calibration
+        assert "cost veto armed" in post.calibration
+        # the measured knobs are on the plan's estimate, not the defaults
+        assert post.estimate.serial_seconds != pre.estimate.serial_seconds
+
+        engine.row_top_k(QUERIES, K, batch_size=16)
+        assert engine.history[-1].plan == post
+
+    def test_auto_stays_fixed_for_unseen_shapes(self):
+        engine = RetrievalEngine("lemp:LI", seed=0, plan_policy="auto").fit(PROBES)
+        calibrate(engine)
+        engine.workers = 4
+        # row count in a different power-of-two bucket: nothing learned there
+        plan = engine.explain(8, k=K, batch_size=16)
+        assert plan.calibration is None
+
+    def test_calibrated_mode_applies_without_confidence(self):
+        engine = RetrievalEngine("lemp:LI", seed=0, workers=4,
+                                 plan_policy="calibrated").fit(PROBES)
+        cold = engine.explain(QUERIES, k=K, batch_size=16)
+        # no estimates at all: static knobs, veto armed — and that is said
+        assert "no recorded estimates" in cold.calibration
+        engine.workers = 1
+        engine.row_top_k(QUERIES, K, batch_size=16)   # a single observation
+        engine.workers = 4
+        warm = engine.explain(QUERIES, k=K, batch_size=16)
+        assert "not yet confident" in warm.calibration
+
+    def test_describe_shows_calibration_line(self):
+        engine = RetrievalEngine("lemp:LI", seed=0, plan_policy="auto").fit(PROBES)
+        calibrate(engine)
+        engine.workers = 4
+        description = engine.explain(QUERIES, k=K, batch_size=16).describe()
+        assert "calibration   :" in description
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_auto_plans_byte_identical_to_serial(self, algorithm):
+        engine = RetrievalEngine(f"lemp:{algorithm}", seed=0,
+                                 plan_policy="auto").fit(PROBES)
+        engine.above_theta(QUERIES, THETA)            # warm tuning + lazy indexes
+        engine.row_top_k(QUERIES, K)
+        for workers, batch_size in SHAPES:
+            for problem, parameter in (("above_theta", THETA), ("row_top_k", K)):
+                calibrate(engine, batch_size=batch_size)
+                assert engine.cost_model.has_confident_estimates()
+                kwargs = {"theta" if problem == "above_theta" else "k": parameter}
+
+                before = snapshot(engine.stats)
+                serial = getattr(engine, problem)(QUERIES, parameter, batch_size=batch_size)
+                serial_counters = delta(engine.stats, before)
+
+                engine.workers = workers
+                try:
+                    plan = engine.explain(QUERIES, batch_size=batch_size, **kwargs)
+                    before = snapshot(engine.stats)
+                    sharded = getattr(engine, problem)(
+                        QUERIES, parameter, batch_size=batch_size
+                    )
+                    sharded_counters = delta(engine.stats, before)
+                finally:
+                    engine.workers = 1
+                context = f"{algorithm} {problem} workers={workers} batch={batch_size}"
+                assert engine.history[-1].plan == plan, context
+                assert_bytes_equal(serial, sharded, context)
+                assert sharded_counters == serial_counters, context
+
+
+# --------------------------------------------------------- history + capability
+
+
+class TestHistoryBound:
+    def test_default_cap_and_eviction_order(self):
+        engine = RetrievalEngine("lemp:LI", seed=0, history_limit=3).fit(PROBES)
+        for k in range(1, 6):
+            engine.row_top_k(QUERIES[:4], k)
+        assert len(engine.history) == 3
+        # oldest-first eviction: the last three parameters survive, in order
+        assert [call.parameter for call in engine.history] == [3.0, 4.0, 5.0]
+        # the cost model saw every call regardless of eviction
+        assert engine.cost_model.num_observations == 5
+
+    def test_unbounded_and_default(self):
+        from repro.engine.facade import DEFAULT_HISTORY_LIMIT
+
+        assert RetrievalEngine("lemp:LI", seed=0).history_limit == DEFAULT_HISTORY_LIMIT
+        unbounded = RetrievalEngine("lemp:LI", seed=0, history_limit=None)
+        assert unbounded.history_limit is None
+        with pytest.raises(InvalidParameterError, match="history_limit"):
+            RetrievalEngine("lemp:LI", seed=0, history_limit=0)
+
+
+class TestCapabilities:
+    def test_spec_capabilities_reports_engine_calibration(self):
+        # spec-level dict stays purely class-level: no instance key
+        assert "calibrated" not in spec_capabilities("lemp:LI")
+        engine = RetrievalEngine("lemp:LI", seed=0).fit(PROBES)
+        assert spec_capabilities("lemp:LI", engine=engine)["calibrated"] is False
+        calibrate(engine)
+        assert spec_capabilities("lemp:LI", engine=engine)["calibrated"] is True
+
+
+# ------------------------------------------------------------------ persistence
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("mmap_mode", [None, "r"])
+    def test_fitted_model_roundtrips(self, tmp_path, mmap_mode):
+        engine = RetrievalEngine("lemp:LI", seed=0, plan_policy="auto").fit(PROBES)
+        calibrate(engine)
+        assert engine.cost_model.has_confident_estimates()
+        engine.save(tmp_path / "idx")
+
+        loaded = RetrievalEngine.load(tmp_path / "idx", mmap_mode=mmap_mode)
+        assert loaded.plan_mode == MODE_AUTO
+        assert loaded.cost_model.to_dict() == engine.cost_model.to_dict()
+        # veto active immediately: the very first plan is calibrated
+        loaded.workers = 4
+        plan = loaded.explain(QUERIES, k=K, batch_size=16)
+        assert plan.calibration is not None
+        assert "cost veto armed" in plan.calibration
+        loaded.row_top_k(QUERIES, K, batch_size=16)
+        assert loaded.history[-1].plan == plan
+
+    def test_fixed_mode_and_empty_model_write_no_keys(self, tmp_path):
+        RetrievalEngine("lemp:LI", seed=0).fit(PROBES).save(tmp_path / "idx")
+        meta = json.loads((tmp_path / "idx" / "meta.json").read_text())
+        assert "plan_mode" not in meta
+        assert "cost_model" not in meta
+
+    def test_malformed_saved_state_loads_leniently(self, tmp_path):
+        engine = RetrievalEngine("lemp:LI", seed=0, plan_policy="auto").fit(PROBES)
+        calibrate(engine, rounds=1)
+        engine.save(tmp_path / "idx")
+        meta_path = tmp_path / "idx" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["plan_mode"] = "mode-from-the-future"
+        meta["cost_model"] = {"entries": "garbage", "alpha": []}
+        meta_path.write_text(json.dumps(meta))
+
+        loaded = RetrievalEngine.load(tmp_path / "idx")
+        assert loaded.plan_mode == MODE_FIXED          # unknown mode dropped
+        assert loaded.cost_model.num_entries == 0
+
+
+# ---------------------------------------------------------------------- serving
+
+
+class TestServingIntegration:
+    def test_served_traffic_feeds_the_shared_model(self):
+        from repro.serve import ServingEngine, serve_compatibility
+
+        async def scenario():
+            engine = RetrievalEngine("lemp:LI", seed=0).fit(PROBES)
+            async with ServingEngine(engine, max_wait_us=200) as serving:
+                assert serving.cost_model is engine.cost_model
+                for _ in range(3):
+                    await serving.row_top_k(QUERIES[:8], 3)
+            return engine
+
+        engine = asyncio.run(scenario())
+        assert engine.cost_model.num_observations >= 3
+        compat = serve_compatibility(engine)
+        assert compat["plan_mode"] == MODE_FIXED
+        assert compat["calibrated"] is False
+
+
+# --------------------------------------------------------------------------- CLI
+
+
+class TestCli:
+    def test_explain_policy_flag(self):
+        import io
+
+        from repro.cli import main
+
+        buffer = io.StringIO()
+        code = main(
+            ["explain", "--dataset", "netflix", "--k", "10",
+             "--policy", "auto", "--execute"],
+            out=buffer,
+        )
+        output = buffer.getvalue()
+        assert code == 0
+        assert "calibrated=no" in output               # engine-aware capability flag
+        assert "recorded plan matches" in output

@@ -229,9 +229,14 @@ class TestExplain:
         engine.workers = 4
         try:
             builder = engine.query(QUERIES).batch_size(16)
-            assert builder.explain_top_k(K) == engine.explain(QUERIES, k=K, batch_size=16)
-            assert builder.explain_above(THETA) == \
+            assert builder.explain(k=K) == engine.explain(QUERIES, k=K, batch_size=16)
+            assert builder.explain(theta=THETA) == \
                 engine.explain(QUERIES, theta=THETA, batch_size=16)
+            # The pre-unification spellings still work, but warn.
+            with pytest.warns(DeprecationWarning, match="explain_top_k"):
+                assert builder.explain_top_k(K) == builder.explain(k=K)
+            with pytest.warns(DeprecationWarning, match="explain_above"):
+                assert builder.explain_above(THETA) == builder.explain(theta=THETA)
         finally:
             engine.workers = 1
 
@@ -412,10 +417,12 @@ class TestPlanPolicy:
             EngineCall("row_top_k", 5.0, 100, 1, 0.4, 500),
             EngineCall("row_top_k", 5.0, 0, 0, 0.0, 0),  # empty: ignored
         ]
-        policy = PlanPolicy().calibrated(calls, num_probes=1000)
+        with pytest.warns(FutureWarning, match="'auto' policy"):
+            policy = PlanPolicy().calibrated(calls, num_probes=1000)
         assert policy.pair_seconds == pytest.approx(0.4 / (100 * 1000))
         # No usable samples: the policy is returned unchanged.
-        assert PlanPolicy().calibrated([], num_probes=1000) == PlanPolicy()
+        with pytest.warns(FutureWarning):
+            assert PlanPolicy().calibrated([], num_probes=1000) == PlanPolicy()
 
     def test_policy_persists_with_the_index(self, tmp_path):
         engine = RetrievalEngine(
