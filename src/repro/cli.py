@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro explain --dataset netflix --k 10 --workers 4
     python -m repro index --dataset netflix --spec lemp:LI --out idx/
     python -m repro serve --index idx/ --clients 16 --workers 2
+    python -m repro serve --index a=idx_a/ --index b=idx_b/ --max-resident-rows 100000
     python -m repro tables --which table3 table4     # regenerate paper tables
 
 The CLI is a thin wrapper around the library: retrievers are constructed from
@@ -27,7 +28,10 @@ retriever's serving compatibility (micro-batching, mmap/process backend).  ``ser
 asyncio client swarm against a persisted index through the
 :class:`~repro.serve.ServingEngine` — dynamic micro-batching, optional
 process workers sharing one memory-mapped index — and reports latency
-percentiles and throughput.
+percentiles and throughput.  Repeating ``--index NAME=PATH`` switches it to
+the multi-tenant :class:`~repro.serve.EngineManager`: many named indexes
+served at once under an LRU residency budget (``--max-resident-rows``),
+with per-tenant admission and tuning-cache stats in the report.
 """
 
 from __future__ import annotations
@@ -55,7 +59,12 @@ from repro.exceptions import (
     RequestTimeoutError,
     ServiceOverloadedError,
 )
-from repro.serve import ServingEngine, WorkerPool, describe_serve_compatibility
+from repro.serve import (
+    EngineManager,
+    ServingEngine,
+    WorkerPool,
+    describe_serve_compatibility,
+)
 
 #: Table/figure identifiers accepted by the ``tables`` sub-command.
 TABLE_BUILDERS = {
@@ -146,11 +155,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the reload-and-compare verification pass")
 
     serve = subparsers.add_parser(
-        "serve", help="drive concurrent clients against a saved index via the serving engine"
+        "serve", help="drive concurrent clients against saved indexes via the serving engine"
     )
-    serve.add_argument("--index", required=True, help="saved index directory (repro index --out)")
+    serve.add_argument("--index", required=True, action="append", metavar="[NAME=]PATH",
+                       help="saved index directory (repro index --out); repeat with "
+                            "NAME=PATH to serve several tenants through the EngineManager")
+    serve.add_argument("--max-resident-rows", type=int, default=None,
+                       help="multi-tenant residency budget: total probe rows kept in "
+                            "memory before LRU tenants are evicted back to disk")
     serve.add_argument("--workers", type=int, default=0,
-                       help="worker processes mapping the index (0 = solve in-process)")
+                       help="worker processes mapping the index (0 = solve in-process; "
+                            "single-tenant mode only)")
     serve.add_argument("--max-batch-rows", type=int, default=256,
                        help="micro-batch flush budget in query rows")
     serve.add_argument("--max-wait-us", type=int, default=2000,
@@ -301,11 +316,136 @@ def _command_index(args, out) -> int:
     return 0
 
 
+def _parse_tenant_specs(specs):
+    """Parse repeated ``--index [NAME=]PATH`` values into (name, path) pairs."""
+    tenants = []
+    for spec in specs:
+        if "=" in spec:
+            name, _, path = spec.partition("=")
+        else:
+            name, path = Path(spec).name, spec
+        name = name.strip()
+        if not name or not path:
+            raise InvalidParameterError(
+                f"--index expects PATH or NAME=PATH, got {spec!r}"
+            )
+        tenants.append((name, path))
+    names = [name for name, _ in tenants]
+    if len(set(names)) != len(names):
+        raise InvalidParameterError(
+            f"duplicate tenant names in --index: {sorted(names)}"
+        )
+    return tenants
+
+
 def _command_serve(args, out) -> int:
+    multi_tenant = len(args.index) > 1 or "=" in args.index[0]
+    if multi_tenant:
+        return _command_serve_multi(args, out)
+    return _command_serve_single(args, out)
+
+
+def _command_serve_multi(args, out) -> int:
     import asyncio
     import time
 
-    engine = RetrievalEngine.load(args.index, mmap_mode="r")
+    if args.workers > 0:
+        raise InvalidParameterError(
+            "--workers applies to single-tenant serving only; the EngineManager "
+            "runs each tenant on its own in-process solver thread"
+        )
+    tenants = _parse_tenant_specs(args.index)
+    k, theta = args.k, args.theta
+    if k is None and theta is None:
+        k = 10
+
+    manager = EngineManager(
+        tenants,
+        max_resident_rows=args.max_resident_rows,
+        max_batch_rows=args.max_batch_rows,
+        max_wait_us=args.max_wait_us,
+    )
+    latencies: list[float] = []
+    answered = {name: 0 for name, _ in tenants}
+
+    async def client(client_id, requests) -> None:
+        for request_id, (name, block) in enumerate(requests):
+            started = time.perf_counter()
+            try:
+                if theta is not None:
+                    await manager.above_theta(name, block, theta, timeout=args.timeout)
+                else:
+                    await manager.row_top_k(name, block, k, timeout=args.timeout)
+            except (RequestTimeoutError, ServiceOverloadedError):
+                continue  # counted by the tenant's own serving metrics
+            latencies.append(time.perf_counter() - started)
+            answered[name] += 1
+
+    async def drive():
+        async with manager:
+            # Touch every tenant once so its rank is known before queries are
+            # drawn (the LRU budget applies; rank survives eviction).
+            ranks = {}
+            for name, _ in tenants:
+                ranks[name] = args.rank or (await manager.activate(name))["rank"]
+                if ranks[name] is None:
+                    raise InvalidParameterError(
+                        f"cannot infer the query rank of tenant {name!r}; pass --rank"
+                    )
+            rng = np.random.default_rng(args.seed)
+            workload = [
+                [
+                    (name, rng.normal(size=(args.rows, ranks[name])))
+                    for request_id in range(args.requests)
+                    for name in (tenants[(client_id + request_id) % len(tenants)][0],)
+                ]
+                for client_id in range(args.clients)
+            ]
+            started = time.perf_counter()
+            await asyncio.gather(
+                *(client(i, requests) for i, requests in enumerate(workload))
+            )
+            return time.perf_counter() - started, manager.stats()
+
+    elapsed, stats = asyncio.run(drive())
+
+    total = sum(answered.values())
+    rows = [
+        ["tenants", " ".join(f"{name}={path}" for name, path in tenants)],
+        ["residency budget (rows)", args.max_resident_rows or "unlimited"],
+        ["problem", f"above_theta(theta={theta:g})" if theta is not None
+         else f"row_top_k(k={k})"],
+        ["clients x requests x rows", f"{args.clients} x {args.requests} x {args.rows}"],
+        ["answered", total],
+        ["wall seconds", round(elapsed, 4)],
+        ["throughput (req/s)", round(total / elapsed, 1) if elapsed > 0 else float("inf")],
+    ]
+    if latencies:
+        for label, percentile in (("p50", 50), ("p95", 95), ("p99", 99)):
+            rows.append(
+                [f"latency {label} (ms)",
+                 round(float(np.percentile(latencies, percentile)) * 1e3, 3)]
+            )
+    for name, _ in tenants:
+        tenant = stats[name]
+        hit_rate = tenant["tuning_cache"]["hit_rate"]
+        rows.append(
+            [f"tenant {name}",
+             f"rows={tenant['rows']} loads={tenant['loads']} "
+             f"evictions={tenant['evictions']} served={tenant['rows_served']} "
+             f"shed={tenant['shed']} timed_out={tenant['timed_out']} "
+             f"cache_hit_rate={'n/a' if hit_rate is None else hit_rate}"]
+        )
+    print(format_table(["metric", "value"], rows), file=out)
+    return 0
+
+
+def _command_serve_single(args, out) -> int:
+    import asyncio
+    import time
+
+    index_path = args.index[0]
+    engine = RetrievalEngine.load(index_path, mmap_mode="r")
     rank = args.rank
     if rank is None:
         store = getattr(engine.retriever, "store", None)
@@ -347,7 +487,7 @@ def _command_serve(args, out) -> int:
             await asyncio.gather(*(client(serving, requests) for requests in workload))
             return serving
 
-    pool = WorkerPool(args.index, args.workers) if args.workers > 0 else None
+    pool = WorkerPool(index_path, args.workers) if args.workers > 0 else None
     if pool is not None:
         engine.use_worker_pool(pool)
     started = time.perf_counter()
@@ -361,7 +501,7 @@ def _command_serve(args, out) -> int:
     answered = len(latencies)
     batch_rows = [record.num_rows for record in serving.flushes]
     rows = [
-        ["index", str(Path(args.index))],
+        ["index", str(Path(index_path))],
         ["backend", f"{args.workers} worker processes" if pool is not None else "in-process"],
         ["problem", f"above_theta(theta={theta:g})" if theta is not None else f"row_top_k(k={k})"],
         ["clients x requests x rows", f"{args.clients} x {args.requests} x {args.rows}"],

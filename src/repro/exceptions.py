@@ -52,7 +52,19 @@ class UnknownDatasetError(ReproError, KeyError):
 
 
 class ServingError(ReproError, RuntimeError):
-    """Base class for errors raised by the :mod:`repro.serve` front-end."""
+    """Base class for errors raised by the :mod:`repro.serve` front-end.
+
+    Also raised directly when a request (or mutation) is submitted to a
+    :class:`~repro.serve.ServingEngine` that is shutting down: a request
+    admitted during ``aclose()`` would land in a micro-batch group nobody
+    flushes, so it is shed immediately instead of hanging forever.  The
+    :class:`~repro.serve.EngineManager` treats this as a retryable
+    residency race (the tenant was being evicted) and re-acquires.
+    """
+
+
+class UnknownTenantError(ServingError, KeyError):
+    """A tenant name passed to :class:`~repro.serve.EngineManager` is not registered."""
 
 
 class ServiceOverloadedError(ServingError):

@@ -11,6 +11,11 @@ into an online service without giving up its determinism contract:
 * :class:`MicroBatcher` / :class:`BatchKey` — the coalescing mechanism:
   requests group by (problem, exact parameter) and flush on a row budget
   or a microsecond-bounded timer.
+* :class:`EngineManager` — the multi-tenant layer above it: many named
+  persisted indexes served at once with LRU row-budgeted residency
+  (evict back to disk / reload on demand via the mmap path), per-tenant
+  lifetime stats, and ``partial_fit`` / ``remove`` interleaved safely
+  with in-flight queries on the same tenant.
 * :class:`WorkerPool` — the planner's third execution backend: N worker
   processes each memory-mapping one read-only saved index
   (``load_engine(path, mmap_mode="r")``), attached to an engine with
@@ -28,7 +33,12 @@ processes sharing one index mapping::
             ...await serving.row_top_k(rows, 10)...
 """
 
-from repro.exceptions import RequestTimeoutError, ServiceOverloadedError, ServingError
+from repro.exceptions import (
+    RequestTimeoutError,
+    ServiceOverloadedError,
+    ServingError,
+    UnknownTenantError,
+)
 from repro.serve.batcher import (
     DEFAULT_MAX_BATCH_ROWS,
     DEFAULT_MAX_WAIT_US,
@@ -38,18 +48,22 @@ from repro.serve.batcher import (
     PendingRequest,
 )
 from repro.serve.engine import (
+    DEFAULT_FLUSH_LOG_LIMIT,
     DEFAULT_MAX_PENDING_ROWS,
     ServingEngine,
     describe_serve_compatibility,
     serve_compatibility,
 )
+from repro.serve.manager import EngineManager
 from repro.serve.workers import WorkerPool
 
 __all__ = [
+    "DEFAULT_FLUSH_LOG_LIMIT",
     "DEFAULT_MAX_BATCH_ROWS",
     "DEFAULT_MAX_PENDING_ROWS",
     "DEFAULT_MAX_WAIT_US",
     "BatchKey",
+    "EngineManager",
     "FlushRecord",
     "MicroBatcher",
     "PendingRequest",
@@ -57,6 +71,7 @@ __all__ = [
     "ServiceOverloadedError",
     "ServingEngine",
     "ServingError",
+    "UnknownTenantError",
     "WorkerPool",
     "describe_serve_compatibility",
     "serve_compatibility",

@@ -62,12 +62,18 @@ class PendingRequest:
 
     ``future`` resolves to the request's demultiplexed result;
     ``rows`` is cached because admission accounting and flush budgeting
-    read it on every submit.
+    read it on every submit.  ``abandoned`` is set by the engine when the
+    caller's deadline elapsed — the batch still runs for its other members,
+    but an abandoned request is never demultiplexed (and never counted as
+    served).  ``released`` guards the one-shot return of the request's rows
+    to the admission budget.
     """
 
     queries: np.ndarray
     rows: int
     future: asyncio.Future
+    abandoned: bool = False
+    released: bool = False
 
 
 @dataclass

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 
 import numpy as np
 
@@ -49,6 +50,7 @@ from repro.exceptions import (
     InvalidParameterError,
     RequestTimeoutError,
     ServiceOverloadedError,
+    ServingError,
 )
 from repro.serve.batcher import (
     DEFAULT_MAX_BATCH_ROWS,
@@ -66,6 +68,9 @@ from repro.utils.validation import (
 
 #: Default admission bound: rows admitted (queued or solving) at once.
 DEFAULT_MAX_PENDING_ROWS = 4096
+
+#: Default cap on the :attr:`ServingEngine.flushes` observability log.
+DEFAULT_FLUSH_LOG_LIMIT = 512
 
 
 def _consume_exception(future: asyncio.Future) -> None:
@@ -97,6 +102,13 @@ class ServingEngine:
     default_timeout:
         Per-request deadline in seconds applied when a call does not pass
         its own ``timeout`` (``None`` = wait indefinitely).
+    flush_log_limit:
+        Cap on the :attr:`flushes` observability log (default
+        :data:`DEFAULT_FLUSH_LOG_LIMIT`; oldest records are evicted
+        first), or ``None`` for unbounded growth.  The traffic counters
+        stay monotonic regardless — the limit only bounds the memory a
+        long-running server spends on per-batch records, mirroring the
+        engine layer's ``history_limit``.
 
     Use as an async context manager (or call :meth:`start` /
     :meth:`aclose` explicitly)::
@@ -111,7 +123,8 @@ class ServingEngine:
                  max_batch_rows: int = DEFAULT_MAX_BATCH_ROWS,
                  max_wait_us: int = DEFAULT_MAX_WAIT_US,
                  max_pending_rows: int = DEFAULT_MAX_PENDING_ROWS,
-                 default_timeout: float | None = None) -> None:
+                 default_timeout: float | None = None,
+                 flush_log_limit: int | None = DEFAULT_FLUSH_LOG_LIMIT) -> None:
         """Configure the front-end; no loop is touched until :meth:`start`."""
         self.engine = engine
         self.max_batch_rows = require_positive_int(max_batch_rows, "max_batch_rows")
@@ -120,11 +133,15 @@ class ServingEngine:
         if default_timeout is not None:
             require_positive(default_timeout, "default_timeout")
         self.default_timeout = default_timeout
+        if flush_log_limit is not None:
+            flush_log_limit = require_positive_int(flush_log_limit, "flush_log_limit")
+        self.flush_log_limit = flush_log_limit
         self._loop: asyncio.AbstractEventLoop | None = None
         self._batcher: MicroBatcher | None = None
         self._solver: ThreadPoolExecutor | None = None
         self._tasks: set[asyncio.Task] = set()
         self._inflight_rows = 0
+        self._closing = False
         #: Served-traffic counters (monotonic over the engine's lifetime).
         self.requests_admitted = 0
         self.requests_shed = 0
@@ -140,6 +157,7 @@ class ServingEngine:
         if self._loop is not None:
             return self
         self._loop = asyncio.get_running_loop()
+        self._closing = False
         self._solver = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-solver"
         )
@@ -150,9 +168,17 @@ class ServingEngine:
         return self
 
     async def aclose(self) -> None:
-        """Drain pending groups, wait for in-flight batches, stop the solver."""
+        """Drain pending groups, wait for in-flight batches, stop the solver.
+
+        The closing flag is raised *before* the first await: a request
+        submitted while the drain loop runs is shed with
+        :class:`~repro.exceptions.ServingError` instead of landing in a
+        fresh group that no one would ever flush (its future would never
+        resolve and its rows would leak from the admission budget).
+        """
         if self._loop is None:
             return
+        self._closing = True
         self._batcher.drain()
         while self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
@@ -205,9 +231,43 @@ class ServingEngine:
         key = BatchKey("row_top_k", float(k))
         return await self._submit(key, queries, timeout)
 
+    async def mutate(self, mutation, *args, **kwargs):
+        """Run ``mutation(*args, **kwargs)`` on the solver thread; return its result.
+
+        This is how index mutations (``engine.partial_fit`` /
+        ``engine.remove``) interleave safely with in-flight queries: the
+        solver executor is single-threaded and runs work items whole, in
+        submission order, so the mutation executes *between* micro-batches —
+        never inside one.  Every request therefore sees either the full
+        pre-mutation or the full post-mutation index, and its result stays
+        byte-identical to the same call on a quiesced engine in that state.
+
+        The awaited return value is whatever ``mutation`` returns; its
+        exceptions propagate to this caller only.  Mutations bypass row
+        accounting and the micro-batcher entirely.
+        """
+        if self._closing:
+            raise ServingError(
+                "ServingEngine is shutting down; mutation rejected"
+            )
+        if self._loop is None:
+            raise InvalidParameterError(
+                "ServingEngine is not started; use 'async with ServingEngine(...)' "
+                "or call await serving.start() first"
+            )
+        return await self._loop.run_in_executor(
+            self._solver, partial(mutation, *args, **kwargs)
+        )
+
     async def _submit(self, key: BatchKey, queries: np.ndarray,
                       timeout: float | None):
         """Admit, enqueue, await one request; demuxed result or typed error."""
+        if self._closing:
+            self.requests_shed += 1
+            raise ServingError(
+                "ServingEngine is shutting down; request shed (a request "
+                "admitted during aclose() would never be flushed)"
+            )
         if self._loop is None:
             raise InvalidParameterError(
                 "ServingEngine is not started; use 'async with ServingEngine(...)' "
@@ -233,8 +293,14 @@ class ServingEngine:
             return await asyncio.wait_for(asyncio.shield(future), timeout)
         except (TimeoutError, asyncio.TimeoutError):  # distinct before 3.11
             self.requests_timed_out += 1
-            # The batch still runs for its other members; make sure an
-            # eventual error on the abandoned future is considered retrieved.
+            # The batch still runs for its other members, but this caller is
+            # gone: mark the request abandoned so the demux neither resolves
+            # its future nor counts its rows as served (a request must never
+            # be counted both timed-out and served).  Its rows return to the
+            # admission budget when the batch finishes.  The shield leaves
+            # the inner future un-done, so an eventual solver error on it
+            # must still be considered retrieved.
+            request.abandoned = True
             future.add_done_callback(_consume_exception)
             raise RequestTimeoutError(
                 f"request deadline of {timeout:g}s elapsed before its "
@@ -248,25 +314,42 @@ class ServingEngine:
         self.flushes.append(
             FlushRecord(key, len(requests), sum(r.rows for r in requests), reason)
         )
+        if self.flush_log_limit is not None and len(self.flushes) > self.flush_log_limit:
+            del self.flushes[: len(self.flushes) - self.flush_log_limit]
         task = self._loop.create_task(self._run_group(key, requests))
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
+    def _release(self, request) -> None:
+        """Return one request's rows to the admission budget, exactly once."""
+        if not request.released:
+            request.released = True
+            self._inflight_rows -= request.rows
+
     async def _run_group(self, key: BatchKey, requests: list) -> None:
-        """Solve one flushed group off-loop, then demultiplex to the callers."""
+        """Solve one flushed group off-loop, then demultiplex to the callers.
+
+        A request's rows are released the moment its future resolves — the
+        demux (or the error path here) releases before ``set_result`` /
+        ``set_exception``, so a caller that immediately resubmits is never
+        shed against rows that were already answered.  The ``finally``
+        sweep only mops up requests whose futures never resolve (abandoned
+        or cancelled callers) once their batch is finished.
+        """
         try:
             merged = await self._loop.run_in_executor(
                 self._solver, self._solve_group, key, requests
             )
         except Exception as error:  # noqa: BLE001 - forwarded to every caller
             for request in requests:
-                if not request.future.done():
+                if not request.future.done() and not request.abandoned:
+                    self._release(request)
                     request.future.set_exception(error)
         else:
             self._demux(key, requests, merged)
         finally:
             for request in requests:
-                self._inflight_rows -= request.rows
+                self._release(request)
 
     def _solve_group(self, key: BatchKey, requests: list):
         """Solver-thread body: one engine call over the stacked request rows."""
@@ -284,14 +367,16 @@ class ServingEngine:
         Row-Top-k demuxes by contiguous row slice; Above-θ by query-id range
         mask with ids shifted back to request-local rows.  Both reproduce
         the standalone per-request result byte for byte (see module
-        docstring).  Futures of callers that already gave up (cancelled)
-        are skipped.
+        docstring).  Callers that already gave up are skipped: cancelled
+        futures, and requests whose deadline elapsed (``abandoned``) — a
+        timed-out request is counted in ``requests_timed_out`` only, never
+        in ``rows_served``.
         """
         offset = 0
         for request in requests:
             start, end = offset, offset + request.rows
             offset = end
-            if request.future.done():
+            if request.future.done() or request.abandoned:
                 continue
             if key.problem == "above_theta":
                 inside = (merged.query_ids >= start) & (merged.query_ids < end)
@@ -305,6 +390,7 @@ class ServingEngine:
                 part = TopKResult(
                     merged.indices[start:end], merged.scores[start:end], merged.k
                 )
+            self._release(request)
             self.rows_served += request.rows
             request.future.set_result(part)
 

@@ -41,9 +41,15 @@ from repro.exceptions import (
     PersistenceError,
     RequestTimeoutError,
     ServiceOverloadedError,
+    ServingError,
     UnsupportedOperationError,
 )
-from repro.serve import ServingEngine, WorkerPool, serve_compatibility
+from repro.serve import (
+    DEFAULT_FLUSH_LOG_LIMIT,
+    ServingEngine,
+    WorkerPool,
+    serve_compatibility,
+)
 from tests.conftest import make_factors
 
 K = 5
@@ -346,6 +352,207 @@ def test_unstarted_serving_engine_rejects_requests(index_dir):
     serving = ServingEngine(RetrievalEngine.load(index_dir))
     with pytest.raises(InvalidParameterError, match="not started"):
         asyncio.run(serving.row_top_k(make_factors(2, rank=12, seed=23), K))
+
+
+# ------------------------------------------------ accounting regression pins
+
+
+def test_timed_out_request_is_never_counted_served(index_dir):
+    """Regression: a timed-out caller must not also be counted in rows_served.
+
+    The shield leaves the timed-out request's inner future un-done, so the
+    demux used to resolve it anyway and add its rows to ``rows_served`` —
+    one request counted both timed-out and served.
+    """
+    rows = make_factors(4, rank=12, seed=30)
+
+    async def drive(engine):
+        async with ServingEngine(engine, max_batch_rows=2, max_wait_us=500) as serving:
+            slow_solver(serving, 0.1)
+            with pytest.raises(RequestTimeoutError):
+                await serving.row_top_k(rows[:2], K, timeout=0.01)
+            late = await serving.row_top_k(rows[2:], K)
+            assert late.indices.shape == (2, K)
+            return serving
+
+    serving = asyncio.run(drive(RetrievalEngine.load(index_dir)))
+    assert serving.requests_timed_out == 1
+    # Only the late request's 2 rows were served; the abandoned request's
+    # rows still returned to the admission budget when its batch finished.
+    assert serving.rows_served == 2
+    assert serving.pending_rows == 0
+
+
+def test_flush_log_is_bounded(index_dir):
+    rows = make_factors(8, rank=12, seed=31)
+    requests = [rows[i:i + 1] for i in range(8)]
+    engine = RetrievalEngine.load(index_dir)
+    _, serving = asyncio.run(run_serving(
+        requests, max_batch_rows=1, max_wait_us=50_000, flush_log_limit=3)(engine))
+    # 8 batches flushed (admission counters say so), only the 3 newest kept.
+    assert serving.requests_admitted == 8
+    assert len(serving.flushes) == 3
+
+
+def test_flush_log_limit_defaults_and_unbounded_opt_out(index_dir):
+    engine = RetrievalEngine.load(index_dir)
+    assert ServingEngine(engine).flush_log_limit == DEFAULT_FLUSH_LOG_LIMIT
+    with pytest.raises(InvalidParameterError):
+        ServingEngine(engine, flush_log_limit=0)
+    rows = make_factors(8, rank=12, seed=32)
+    requests = [rows[i:i + 1] for i in range(8)]
+    _, serving = asyncio.run(run_serving(
+        requests, max_batch_rows=1, max_wait_us=50_000, flush_log_limit=None)(engine))
+    assert len(serving.flushes) == 8
+
+
+def test_submit_during_aclose_is_shed_not_hung(index_dir):
+    """Regression: a request admitted while aclose() drains used to land in
+    a fresh group nobody flushes — its future never resolved and its rows
+    leaked from the admission budget permanently."""
+    rows = make_factors(6, rank=12, seed=33)
+
+    async def drive(engine):
+        serving = await ServingEngine(
+            engine, max_batch_rows=2, max_wait_us=500
+        ).start()
+        slow_solver(serving, 0.05)
+        first = asyncio.ensure_future(serving.row_top_k(rows[:2], K))
+        await asyncio.sleep(0)  # first request admitted, its batch solving
+        closer = asyncio.ensure_future(serving.aclose())
+        await asyncio.sleep(0)  # aclose() entered: closing flag raised
+        with pytest.raises(ServingError, match="shutting down"):
+            await serving.row_top_k(rows[2:4], K)
+        result = await first  # the in-flight batch still answers its caller
+        await closer
+        # A closed engine keeps shedding (never InvalidParameterError's
+        # "not started", which the manager would not treat as retryable).
+        with pytest.raises(ServingError, match="shutting down"):
+            await serving.row_top_k(rows[4:], K)
+        return result, serving
+
+    result, serving = asyncio.run(drive(RetrievalEngine.load(index_dir)))
+    assert result.indices.shape == (2, K)
+    assert serving.requests_shed == 2
+    assert serving.pending_rows == 0
+
+
+def test_rows_release_before_caller_future_resolves(index_dir):
+    """Regression pin for late backpressure release: each request's rows
+    must return to the admission budget *before* its future resolves, on
+    the success and the solver-error path alike."""
+    rows = make_factors(4, rank=12, seed=34)
+    bad_rank = make_factors(2, rank=7, seed=35)
+    events = []
+
+    async def drive(engine):
+        async with ServingEngine(engine, max_batch_rows=2, max_wait_us=500) as serving:
+            original_release = serving._release
+
+            def recording_release(request):
+                # done() False here means the release happened strictly
+                # before set_result / set_exception on that future.
+                events.append((request.rows, request.future.done()))
+                original_release(request)
+
+            serving._release = recording_release
+            await serving.row_top_k(rows[:2], K)
+            with pytest.raises(DimensionMismatchError):
+                await serving.row_top_k(bad_rank, K)
+            return serving
+
+    serving = asyncio.run(drive(RetrievalEngine.load(index_dir)))
+    # First release of each request fired with its future still unresolved;
+    # the finally sweep then saw them already released (done=True no-ops).
+    first_release = {}
+    for rows_count, done in events:
+        first_release.setdefault(rows_count, done)
+    assert set(first_release.values()) == {False}
+    assert serving.pending_rows == 0
+
+
+# ------------------------------------------------------- mutate while serving
+
+
+def test_mutate_runs_between_batches_and_matches_quiesced(index_dir):
+    """partial_fit/remove through mutate() interleaved with live queries:
+    every result is byte-identical to a quiesced engine in the same state."""
+    queries = make_factors(8, rank=12, seed=36)
+    extra = make_factors(20, rank=12, length_cov=1.0, seed=37)
+
+    reference = RetrievalEngine.load(index_dir)
+    before = reference.row_top_k(queries, K)
+    reference.partial_fit(extra)
+    after_add = reference.row_top_k(queries, K)
+    reference.remove(np.arange(10))
+    after_remove = reference.row_top_k(queries, K)
+
+    async def drive(engine):
+        async with ServingEngine(engine, max_batch_rows=8, max_wait_us=500) as serving:
+            served_before = await serving.row_top_k(queries, K)
+            grown = await serving.mutate(engine.partial_fit, extra)
+            served_added = await serving.row_top_k(queries, K)
+            await serving.mutate(engine.remove, np.arange(10))
+            served_removed = await serving.row_top_k(queries, K)
+        return served_before, served_added, served_removed, grown
+
+    engine = RetrievalEngine.load(index_dir)
+    served_before, served_added, served_removed, grown = asyncio.run(drive(engine))
+    assert grown is engine  # mutate() returns the mutation's own result
+    assert_topk_equal(before, served_before)
+    assert_topk_equal(after_add, served_added)
+    assert_topk_equal(after_remove, served_removed)
+
+
+def test_concurrent_mutation_yields_pre_or_post_state_results(index_dir):
+    """A mutation racing a query swarm lands between micro-batches: every
+    served result equals the pre- or the post-mutation quiesced result,
+    never a blend of the two index states."""
+    blocks = [make_factors(2, rank=12, seed=40 + i) for i in range(12)]
+    extra = make_factors(25, rank=12, length_cov=1.0, seed=39)
+
+    reference = RetrievalEngine.load(index_dir)
+    pre = [reference.row_top_k(block, K) for block in blocks]
+    reference.partial_fit(extra)
+    post = [reference.row_top_k(block, K) for block in blocks]
+
+    async def drive(engine):
+        async with ServingEngine(engine, max_batch_rows=4, max_wait_us=200) as serving:
+            slow_solver(serving, 0.002)
+
+            async def mutator():
+                await asyncio.sleep(0.004)
+                await serving.mutate(engine.partial_fit, extra)
+
+            results, _ = await asyncio.gather(
+                asyncio.gather(*(serving.row_top_k(block, K) for block in blocks)),
+                mutator(),
+            )
+        return results
+
+    results = asyncio.run(drive(RetrievalEngine.load(index_dir)))
+
+    def equals(expected, actual):
+        return (np.array_equal(expected.indices, actual.indices)
+                and np.array_equal(expected.scores, actual.scores))
+
+    for expected_pre, expected_post, actual in zip(pre, post, results):
+        assert equals(expected_pre, actual) or equals(expected_post, actual)
+
+
+def test_mutate_is_rejected_when_closed_or_unstarted(index_dir):
+    engine = RetrievalEngine.load(index_dir)
+    serving = ServingEngine(engine)
+    with pytest.raises(InvalidParameterError, match="not started"):
+        asyncio.run(serving.mutate(engine.partial_fit, make_factors(2, rank=12, seed=41)))
+
+    async def drive():
+        async with ServingEngine(engine) as live:
+            pass
+        with pytest.raises(ServingError, match="mutation rejected"):
+            await live.mutate(engine.partial_fit, make_factors(2, rank=12, seed=41))
+
+    asyncio.run(drive())
 
 
 # ----------------------------------------------------------------- mmap layout
