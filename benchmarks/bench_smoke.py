@@ -1,4 +1,4 @@
-"""CI smoke benchmark: kernel, parallel, probe-shard, screening and combined-axis gates.
+"""CI smoke benchmark: kernel, parallel, probe-shard, screening, generation and combined-axis gates.
 
 Runs a tiny synthetic Row-Top-k / Above-θ workload through the
 :class:`~repro.engine.facade.RetrievalEngine` four ways — serial vs.
@@ -20,6 +20,12 @@ The script exits non-zero (failing the CI ``bench-smoke`` job) when any of
   is not byte-identical to the exact path, breaks the
   ``survivors + dropped == unscreened inner products`` counter split, fails
   to reduce the modelled verification bytes, or regresses beyond
+  ``--margin``, or
+* f16 compressed candidate generation (``gen_dtype``), toggled on the same
+  warm probe-gate engine, is not byte-identical to the exact scans, drops
+  (or more than 1.5x inflates) candidates, fails to hold the resident
+  generation-index bytes at ≤ 0.55x the exact sorted lists, does not report
+  the knob in its plan (the ``repro explain`` line), or regresses beyond
   ``--margin``, or
 * the combined-axis plan does not actually use both axes, its explained
   plan differs from the recorded one, its results/counters drift from
@@ -357,6 +363,91 @@ def run_smoke(args: argparse.Namespace) -> tuple[dict, dict]:
             "f16 screening on the warm probe-gate index must match the exact "
             "path byte-for-byte, scan fewer modelled bytes, and not regress "
             "beyond the margin"
+        ),
+    }
+
+    # Compressed-generation gate: the same warm probe-gate engine with the
+    # f16 generation tier toggled on (workers=1, screening off, tuning
+    # shared).  Generation must return byte-identical results, keep every
+    # counter class except the deliberately-inflatable candidate counters
+    # identical, shrink the resident generation-index bytes to <= 0.55x the
+    # exact sorted lists, and stay inside the wall-clock margin.  The
+    # recorded plan must carry the knob (the line ``repro explain`` prints).
+    probe_engine.workers = 1
+    before = counter_snapshot(probe_engine)
+    exact_gen_results = single_sweep()
+    exact_gen_deltas = counter_delta(probe_engine, before)
+    exact_gen_bytes = probe_engine.retriever.generation_memory_bytes()
+
+    probe_engine.gen_dtype = "f16"
+    single_sweep()  # warm-up: builds and caches the compressed sorted lists
+    best_exact_gen = best_compressed_gen = float("inf")
+    for _ in range(max(args.repeats, 5)):
+        probe_engine.gen_dtype = None
+        started = time.perf_counter()
+        single_sweep()
+        best_exact_gen = min(best_exact_gen, time.perf_counter() - started)
+        probe_engine.gen_dtype = "f16"
+        started = time.perf_counter()
+        single_sweep()
+        best_compressed_gen = min(best_compressed_gen, time.perf_counter() - started)
+    timings["single_query_exact_generation"] = best_exact_gen
+    timings["single_query_compressed_generation_f16"] = best_compressed_gen
+
+    before = counter_snapshot(probe_engine)
+    compressed_gen_results = single_sweep()
+    compressed_gen_deltas = counter_delta(probe_engine, before)
+    compressed_gen_bytes = probe_engine.retriever.generation_memory_bytes()
+    gen_plan = probe_engine.explain(singles[0], theta=args.theta)
+    probe_engine.gen_dtype = None
+
+    generation_identical = all(
+        np.array_equal(expected.query_ids, observed.query_ids)
+        and np.array_equal(expected.probe_ids, observed.probe_ids)
+        and np.array_equal(expected.scores, observed.scores)
+        for expected, observed in zip(exact_gen_results, compressed_gen_results)
+    )
+    # Widened scans may over-produce candidates (each surplus one is verified
+    # exactly, so inner_products tracks the inflation); every other counter
+    # class must match the exact run.
+    generation_drift = {
+        name: {"exact": exact_gen_deltas[name], "compressed": compressed_gen_deltas[name]}
+        for name in COUNTERS
+        if name not in ("candidates", "inner_products")
+        and exact_gen_deltas[name] != compressed_gen_deltas[name]
+    }
+    never_drops = compressed_gen_deltas["candidates"] >= exact_gen_deltas["candidates"]
+    gen_inflation = (
+        compressed_gen_deltas["candidates"] / max(exact_gen_deltas["candidates"], 1)
+    )
+    gen_bytes_ratio = compressed_gen_bytes / max(exact_gen_bytes, 1)
+    gen_ratio = (
+        timings["single_query_compressed_generation_f16"]
+        / timings["single_query_exact_generation"]
+    )
+    checks["compressed_generation_gate"] = {
+        "passed": (
+            generation_identical and not generation_drift and never_drops
+            and gen_inflation <= 1.5
+            and gen_bytes_ratio <= 0.55
+            and gen_plan.gen_dtype == "f16"
+            and "generation    : f16 compressed index scans" in gen_plan.describe()
+            and gen_ratio <= args.margin
+        ),
+        "results_byte_identical": generation_identical,
+        "counter_drift": generation_drift,
+        "candidates_never_drop": never_drops,
+        "candidate_inflation": round(gen_inflation, 6),
+        "generation_memory_bytes_exact": exact_gen_bytes,
+        "generation_memory_bytes_f16": compressed_gen_bytes,
+        "generation_memory_bytes_ratio": round(gen_bytes_ratio, 4),
+        "plan_reports_gen_dtype": gen_plan.gen_dtype == "f16",
+        "compressed_over_exact_time_ratio": round(gen_ratio, 4),
+        "margin": args.margin,
+        "detail": (
+            "f16 compressed generation on the warm probe-gate index must match "
+            "the exact scans byte-for-byte (candidates may only over-produce), "
+            "hold generation memory at <= 0.55x, and not regress beyond the margin"
         ),
     }
 

@@ -62,7 +62,7 @@ from repro.exceptions import (
     UnsupportedOperationError,
 )
 
-__version__ = "2.7.0"
+__version__ = "2.8.0"
 
 __all__ = [
     "ALGORITHMS",

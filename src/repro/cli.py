@@ -141,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["fixed", "auto", "calibrated"],
                          help="plan policy mode (auto/calibrated consult the "
                               "engine's learned cost model)")
+    explain.add_argument("--gen-dtype", default=None,
+                         choices=["f32", "f16", "int8"],
+                         help="run candidate generation over a compressed index "
+                              "tier (results stay byte-identical; LEMP only)")
 
     index = subparsers.add_parser(
         "index", help="build a persistent index for a dataset (save, reload, verify)"
@@ -260,6 +264,8 @@ def _command_explain(args, out) -> int:
         k = 10
     engine = RetrievalEngine(args.algorithm, seed=args.seed, workers=args.workers,
                              plan_policy=args.policy)
+    if getattr(args, "gen_dtype", None) is not None:
+        engine.gen_dtype = args.gen_dtype
     engine.fit(dataset.probes)
     plan = engine.explain(dataset.queries, theta=theta, k=k, batch_size=args.batch_size)
 

@@ -18,6 +18,11 @@ from repro.core.tuning_cache import BucketFingerprint, fingerprint_content
 from repro.core.vector_store import VectorStore
 
 
+def gen_lists_key(dtype_name: str) -> str:
+    """Auxiliary-index key of the compressed sorted lists for a gen dtype."""
+    return f"gen_lists:{dtype_name}"
+
+
 class Bucket:
     """One bucket of probes of roughly similar length.
 
@@ -113,6 +118,24 @@ class Bucket:
         if self._sorted_lists is None:
             self._sorted_lists = SortedListIndex(self.directions)
         return self._sorted_lists
+
+    def gen_sorted_lists(self, tier) -> SortedListIndex:
+        """Sorted lists built over a compressed tier's values, lazily.
+
+        ``tier`` is the :class:`~repro.core.screening.ScreenTier` selected by
+        LEMP's ``gen_dtype`` knob; the index stores the tier's storage-dtype
+        values with ``int32`` identifiers and widens every scan range by the
+        tier's per-element error bound (see
+        :class:`~repro.core.sorted_lists.SortedListIndex`).  One index is
+        kept per tier dtype, alongside — never replacing — the exact f64
+        lists, so toggling ``gen_dtype`` on a warm retriever reuses whatever
+        is already built.
+        """
+        def build() -> SortedListIndex:
+            values, bounds = tier.gen_view(self.start, self.end)
+            return SortedListIndex.from_compressed(values, bounds)
+
+        return self.get_index(gen_lists_key(tier.dtype_name), build)
 
     def get_index(self, key: str, builder):
         """Return a named auxiliary index, building it with ``builder()`` on first use.

@@ -31,12 +31,20 @@ def scan_ranges(
 
     Returns a list of ``(coordinate, start, end)`` triples; entries of list
     ``coordinate`` in positions ``[start, end)`` lie inside the feasible region
-    of that coordinate.
+    of that coordinate.  On a compressed index the regions are widened (and
+    rounded outward to the storage dtype) in one vectorised shot before the
+    binary searches — equivalent to per-coordinate :meth:`SortedListIndex
+    .scan_range` calls, minus their per-call widening overhead.
     """
     lowers, uppers = feasible_region(query_direction[focus], theta_b)
+    lowers, uppers = index.widen_batch(lowers, uppers)
+    values = index.values
+    searchsorted = np.searchsorted
     ranges = []
     for position, coordinate in enumerate(np.asarray(focus, dtype=np.intp)):
-        start, end = index.scan_range(int(coordinate), lowers[position], uppers[position])
+        row = values[int(coordinate)]
+        start = int(searchsorted(row, lowers[position], side="left"))
+        end = int(searchsorted(row, uppers[position], side="right"))
         ranges.append((int(coordinate), start, end))
     return ranges
 
@@ -51,7 +59,7 @@ def count_scan_hits(
     """CP array of COORD: per-probe count of focus scan ranges it appears in."""
     counts = np.zeros(size, dtype=np.int64)
     for coordinate, start, end in scan_ranges(index, query_direction, focus, theta_b):
-        lids = index.lids[coordinate, start:end]
+        lids = np.asarray(index.lids[coordinate, start:end], dtype=np.intp)
         counts += np.bincount(lids, minlength=size)
     return counts
 
@@ -76,9 +84,22 @@ def accumulate_partial_products(
     partial_dot = np.zeros(size, dtype=np.float64)
     partial_sqnorm = np.zeros(size, dtype=np.float64)
     for coordinate, start, end in scan_ranges(index, query_direction, focus, theta_b):
-        lids = index.lids[coordinate, start:end]
+        # ``bincount`` wants intp bins and f64 weights; converting once here
+        # (a no-op view on an exact index) instead of letting each of the
+        # three calls convert internally keeps the compressed (gen_dtype)
+        # index's int32/f32 storage off the hot path.  The ``dtype=np.float64``
+        # on the products upcasts the stored values inside the ufunc loop —
+        # the partial products must accumulate in f64 for the widened INCR
+        # bound derivation to hold.
+        lids = np.asarray(index.lids[coordinate, start:end], dtype=np.intp)
         values = index.values[coordinate, start:end]
         counts += np.bincount(lids, minlength=size)
-        partial_dot += np.bincount(lids, weights=query_direction[coordinate] * values, minlength=size)
-        partial_sqnorm += np.bincount(lids, weights=values * values, minlength=size)
+        partial_dot += np.bincount(
+            lids,
+            weights=np.multiply(values, query_direction[coordinate], dtype=np.float64),
+            minlength=size,
+        )
+        partial_sqnorm += np.bincount(
+            lids, weights=np.multiply(values, values, dtype=np.float64), minlength=size
+        )
     return counts, partial_dot, partial_sqnorm

@@ -40,9 +40,16 @@ from repro.core.retrievers import (
     TABucketRetriever,
     TreeBucketRetriever,
 )
+from repro.core.bucket import gen_lists_key
 from repro.core.retrievers.blsh import INDEX_KEY as BLSH_INDEX_KEY
 from repro.core.retrievers.l2ap import INDEX_KEY as L2AP_INDEX_KEY
-from repro.core.screening import ScreenTier, validate_screen_dtype
+from repro.core.retrievers.l2ap import gen_index_key as l2ap_gen_index_key
+from repro.core.screening import (
+    SCREEN_DTYPES,
+    ScreenTier,
+    validate_gen_dtype,
+    validate_screen_dtype,
+)
 from repro.core.selector import DEFAULT_PHI, FixedSelector, PerBucketSelector
 from repro.core.stats import RunStats
 from repro.core.top_k import solve_row_top_k
@@ -147,6 +154,22 @@ class Lemp(Retriever):
         :mod:`repro.core.screening`).  The attribute is plain and may be
         reassigned between calls — the tier is built lazily on first use and
         kept in sync by ``partial_fit`` / ``remove``.
+    gen_dtype:
+        Optional compressed *candidate generation* tier (``"f32"``, ``"f16"``
+        or ``"int8"``).  The coordinate-based index scans (sorted lists / CP
+        arrays for COORD, INCR, TA; the L2AP inverted lists; the BLSH
+        signature build) run over a quantized copy of the probe directions
+        with every feasible region and pruning bound *widened* by the tier's
+        per-row error bound, so generation can only over-produce — never drop
+        — a candidate the exact scan would surface, and exact f64
+        verification keeps results byte-identical to ``gen_dtype=None``.
+        The compressed lists are 2–2.7x smaller than the f64 ones
+        (``int32`` ids plus storage-dtype values).  When it equals
+        ``screen_dtype`` the two features share one quantized tier.  Like
+        ``screen_dtype`` the attribute is plain and may be reassigned between
+        calls; compressed indexes are cached per dtype alongside the exact
+        ones.  TREE ignores the knob (the cover tree prunes with exact
+        geometry); LENGTH needs no directions at all.
     """
 
     def __init__(
@@ -162,6 +185,7 @@ class Lemp(Retriever):
         seed: int = 0,
         tune_cache: bool = True,
         screen_dtype: str | None = None,
+        gen_dtype: str | None = None,
     ) -> None:
         super().__init__()
         algorithm = str(algorithm).upper()
@@ -179,6 +203,7 @@ class Lemp(Retriever):
         self.phi_grid = tuple(phi_grid)
         self.seed = seed
         self.screen_dtype = validate_screen_dtype(screen_dtype)
+        self.gen_dtype = validate_gen_dtype(gen_dtype)
         self.name = f"LEMP-{algorithm}"
         self.store: VectorStore | None = None
         self.buckets: list = []
@@ -260,6 +285,7 @@ class Lemp(Retriever):
             "seed": self.seed,
             "tune_cache": self.tuning_cache.enabled,
             "screen_dtype": self.screen_dtype,
+            "gen_dtype": self.gen_dtype,
         }
 
     # -------------------------------------------------- incremental maintenance
@@ -372,6 +398,9 @@ class Lemp(Retriever):
         With an active ``screen_dtype`` the compressed screening tier is
         exported too (building it now if no query has forced it yet), so a
         reloaded — or memory-mapped — index screens without re-quantizing.
+        An active ``gen_dtype`` likewise exports its tier under ``gen_*``
+        keys — unless it equals ``screen_dtype``, in which case the one
+        shared tier travels once under the ``screen_*`` keys.
         """
         self._require_fitted()
         state = {
@@ -385,6 +414,12 @@ class Lemp(Retriever):
         }
         if self.screen_dtype is not None:
             state.update(self.store.screen_tier(self.screen_dtype).state_arrays())
+        if self.gen_dtype is not None and self.gen_dtype != self.screen_dtype:
+            gen_arrays = self.store.screen_tier(self.gen_dtype).state_arrays()
+            state.update({
+                "gen_" + key[len("screen_"):]: value
+                for key, value in gen_arrays.items()
+            })
         return state
 
     def restore_index(self, probes, state) -> "Lemp":
@@ -417,6 +452,17 @@ class Lemp(Retriever):
                 state.get("screen_offset"),
                 expected_shape=self.store.directions.shape,
             ))
+        if self.gen_dtype is not None and "gen_data" in state:
+            # gen_dtype == screen_dtype shares the tier restored above; a
+            # distinct gen tier travels under the gen_* keys (format >= 5).
+            # Pre-format-5 indexes simply rebuild the tier lazily.
+            self.store.set_screen_tier(ScreenTier.from_state(
+                self.gen_dtype,
+                state["gen_data"],
+                state.get("gen_scale"),
+                state.get("gen_offset"),
+                expected_shape=self.store.directions.shape,
+            ))
         self.tuning_cache.clear()
         self._fitted = True
         return self
@@ -431,20 +477,23 @@ class Lemp(Retriever):
     # -------------------------------------------------------------- selectors
 
     def _coordinate_retriever(self, problem: str):
+        gen = self._gen_tier()
         if self.algorithm in {"C", "LC"}:
-            return CoordRetriever()
+            return CoordRetriever(gen=gen)
         if self.algorithm in {"I", "LI"}:
-            return IncrRetriever()
+            return IncrRetriever(gen=gen)
         if self.algorithm == "TA":
-            return TABucketRetriever()
+            return TABucketRetriever(gen=gen)
         if self.algorithm == "TREE":
+            # The cover tree prunes with exact geometry; gen_dtype is a no-op.
             return TreeBucketRetriever()
         if self.algorithm == "L2AP":
             return L2APBucketRetriever(
-                use_index_reduction=(problem == "above_theta"), cache=self.tuning_cache
+                use_index_reduction=(problem == "above_theta"), cache=self.tuning_cache,
+                gen=gen,
             )
         if self.algorithm == "BLSH":
-            return BlshBucketRetriever(seed=self.seed, cache=self.tuning_cache)
+            return BlshBucketRetriever(seed=self.seed, cache=self.tuning_cache, gen=gen)
         return None
 
     def _invalidate_threshold_dependent_indexes(self) -> None:
@@ -454,20 +503,27 @@ class Lemp(Retriever):
         the cache enabled the L2AP retriever guards reuse itself with the
         theta_b lower-bound rule, and the BLSH signature filter carries no
         threshold state at all (its minimum-match base is recomputed per
-        call), so it is reusable unconditionally.
+        call), so it is reusable unconditionally.  Exact and compressed L2AP
+        indexes are cached under distinct keys; all flavours are dropped.
         """
         if self.tuning_cache.enabled:
             return
         if self.algorithm == "L2AP":
             for bucket in self.buckets:
                 bucket.drop_index(L2AP_INDEX_KEY)
+                for dtype_name in SCREEN_DTYPES:
+                    bucket.drop_index(l2ap_gen_index_key(dtype_name))
 
     def _tuning_key(self, problem: str, parameter: float) -> tuple:
         """Cache key of one tuning artifact: problem, parameter, sample seed.
 
         All other inputs of the tuner (bucket contents, phi grid, sample
         size) are either covered by the per-bucket fingerprints or constant
-        for the lifetime of this retriever instance.
+        for the lifetime of this retriever instance.  ``gen_dtype`` is
+        deliberately *excluded*: compressed generation only inflates
+        candidate sets marginally, so tuning artifacts remain valid — and a
+        warm engine toggling ``gen_dtype`` keeps its tuned φ / switch points,
+        which keeps counter comparisons across the toggle meaningful.
         """
         return (problem, float(parameter), self.seed)
 
@@ -603,6 +659,45 @@ class Lemp(Retriever):
             tier = self.store.screen_tier(self.screen_dtype)
         self.stats.preprocessing_seconds += timer.elapsed
         return tier
+
+    def _gen_tier(self) -> ScreenTier | None:
+        """The active candidate-generation tier, or ``None`` when off.
+
+        Same lifecycle as :meth:`_screen_tier`: built lazily on the store
+        (timed into ``preprocessing_seconds``), shared across worker views,
+        and patched in place by ``partial_fit`` / ``remove``.  When
+        ``gen_dtype == screen_dtype`` both features read one tier.
+        """
+        if self.gen_dtype is None:
+            return None
+        with Timer() as timer:
+            tier = self.store.screen_tier(self.gen_dtype)
+        self.stats.preprocessing_seconds += timer.elapsed
+        return tier
+
+    def generation_memory_bytes(self) -> int:
+        """Resident bytes of the built candidate-generation index structures.
+
+        Sums, over all buckets, the structures the *current* ``gen_dtype``
+        mode would scan: the exact sorted lists / L2AP inverted index when
+        ``gen_dtype`` is ``None``, the compressed flavours otherwise (plus
+        the BLSH signature filter, whose content is mode-independent).  Only
+        structures already built are counted — call after a warm-up probe for
+        a meaningful comparison across modes.
+        """
+        total = 0
+        for bucket in self.buckets:
+            if self.gen_dtype is None:
+                lists = bucket.sorted_lists() if bucket.sorted_lists_built else None
+                l2ap = bucket.peek_index(L2AP_INDEX_KEY)
+            else:
+                lists = bucket.peek_index(gen_lists_key(self.gen_dtype))
+                l2ap = bucket.peek_index(l2ap_gen_index_key(self.gen_dtype))
+            blsh = bucket.peek_index(BLSH_INDEX_KEY)
+            for structure in (lists, l2ap, blsh):
+                if structure is not None:
+                    total += structure.memory_bytes()
+        return int(total)
 
     def _probe_above_theta(self, prepared, theta: float, selector,
                            probe_shards: int, executor, screen=None):
@@ -774,6 +869,7 @@ class Lemp(Retriever):
             seed=self.seed,
             tune_cache=self.tuning_cache.enabled,
             screen_dtype=self.screen_dtype,
+            gen_dtype=self.gen_dtype,
         ).fit(queries)
         probes = self.store.vectors()[np.argsort(self.store.ids)]
         result = swapped.row_top_k(probes, k)

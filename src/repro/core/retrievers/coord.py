@@ -26,9 +26,26 @@ def select_focus_coordinates(query_direction: np.ndarray, phi: int) -> np.ndarra
 
 
 class CoordRetriever(BucketRetriever):
-    """Candidate generation by intersecting focus-coordinate scan ranges."""
+    """Candidate generation by intersecting focus-coordinate scan ranges.
+
+    With a compressed generation tier (``gen``, LEMP's ``gen_dtype`` knob)
+    the scan ranges run over the tier's quantized sorted lists, widened by
+    the per-element error bound: a probe inside every exact feasible region
+    is inside every widened compressed one, so the intersection can only
+    over-produce, never drop a true candidate.
+    """
 
     name = "COORD"
+
+    def __init__(self, gen=None) -> None:
+        #: Optional :class:`~repro.core.screening.ScreenTier` the sorted
+        #: lists are built over instead of the exact f64 directions.
+        self.gen = gen
+
+    def _index(self, bucket: Bucket):
+        if self.gen is not None:
+            return bucket.gen_sorted_lists(self.gen)
+        return bucket.sorted_lists()
 
     def retrieve(
         self,
@@ -43,6 +60,6 @@ class CoordRetriever(BucketRetriever):
             # The feasible region is the whole value range: no pruning possible.
             return self.all_candidates(bucket)
         focus = select_focus_coordinates(query_direction, phi)
-        index = bucket.sorted_lists()
+        index = self._index(bucket)
         counts = count_scan_hits(index, query_direction, focus, theta_b, bucket.size)
         return np.nonzero(counts == focus.size)[0].astype(np.intp)

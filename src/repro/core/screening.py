@@ -61,6 +61,13 @@ _INT8_LEVELS = 127
 #: Unit roundoff of f32 accumulation and the f32 query conversion.
 _F32_EPS = 2.0**-24
 
+#: Extra per-element slack on the int8 *generation* reconstruction: the codes
+#: are expanded to f32 (``codes * scale + offset``), so on top of the
+#: quantization error ``scale / 2`` the stored value carries one f32 rounding
+#: of a quantity in [-1, 1].  ``2^-23`` doubles the f32 unit roundoff to also
+#: absorb the (f64) expansion arithmetic.
+_INT8_GEN_EPS = 2.0**-23
+
 
 def validate_screen_dtype(value) -> str | None:
     """Canonicalize a screen dtype knob: ``None`` stays off, names lower-case.
@@ -76,6 +83,25 @@ def validate_screen_dtype(value) -> str | None:
     if name not in SCREEN_DTYPES:
         raise ScreeningError(
             f"unknown screen dtype {value!r}; expected one of {SCREEN_DTYPES} or None"
+        )
+    return name
+
+
+def validate_gen_dtype(value) -> str | None:
+    """Canonicalize a generation dtype knob (same names as the screen knob).
+
+    ``gen_dtype`` selects the compressed tier the candidate-*generation*
+    indexes (sorted lists, CP arrays, L2AP lists, BLSH signatures) are built
+    over; ``None`` keeps generation on the exact f64 directions.
+    """
+    if value is None:
+        return None
+    name = str(value).strip().lower()
+    if name in ("", "none", "off", "f64"):
+        return None
+    if name not in SCREEN_DTYPES:
+        raise ScreeningError(
+            f"unknown gen dtype {value!r}; expected one of {SCREEN_DTYPES} or None"
         )
     return name
 
@@ -226,6 +252,49 @@ class ScreenTier:
             gathered = np.asarray(gathered, dtype=np.float32)
             approx = np.dot(gathered, query32).astype(np.float64)
         return approx + self.bounds[rows]
+
+    # ------------------------------------------------------------- generation
+
+    def element_bounds(self, start: int = 0, end: int | None = None) -> np.ndarray:
+        """Per-row bound on ``|p̄_f − p̃_f|`` of the stored values, any coordinate.
+
+        This is the *per-element* reconstruction error the candidate-generation
+        indexes widen their feasible regions / prefix bounds by (unlike
+        :attr:`bounds`, which bounds a whole compressed *dot product* for the
+        screening step).  f32 and f16 values in [-1, 1] are off by at most
+        their unit roundoff; int8 codes expanded to f32 are off by at most
+        ``scale / 2`` plus one f32 rounding.  Derived on demand from the
+        (row-local) scales, so incremental updates need no extra bookkeeping.
+        """
+        if end is None:
+            end = self.size
+        if self.dtype_name == "int8":
+            return np.asarray(self.scale[start:end], dtype=np.float64) * 0.5 + _INT8_GEN_EPS
+        return np.full(end - start, _ELEMENT_EPS[self.dtype_name], dtype=np.float64)
+
+    def gen_view(self, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, element_bounds)`` of rows ``[start, end)`` for index builds.
+
+        ``values`` are the stored per-coordinate direction values — the f32
+        data slice directly, the f32 *expansion* of the f16 slice (every f16
+        value is exactly representable in f32, so the numbers and hence the
+        widening bounds are unchanged, while the scan hot path avoids the
+        slow f16→f64 conversions), or the f32 expansion
+        ``codes · scale + offset`` for int8 (codes are not comparable across
+        rows, so sorted lists and inverted indexes need the expanded values).
+        ``element_bounds`` is :meth:`element_bounds` for the same rows.  The
+        expansion is transient build-time work; the caller's index keeps only
+        what it copies out.
+        """
+        if self.dtype_name == "int8":
+            codes = self.data[start:end].astype(np.float64)
+            values = codes * self.scale[start:end, None] + self.offset[start:end, None]
+            values = np.ascontiguousarray(values.astype(np.float32))
+        elif self.dtype_name == "f16":
+            values = np.ascontiguousarray(self.data[start:end].astype(np.float32))
+        else:
+            values = self.data[start:end]
+        return values, self.element_bounds(start, end)
 
     # ---------------------------------------------------------------- updates
 

@@ -243,6 +243,31 @@ class RetrievalEngine:
         self._construct_kwargs["screen_dtype"] = name
 
     @property
+    def gen_dtype(self) -> str | None:
+        """The retriever's compressed candidate-generation dtype, or ``None``.
+
+        ``None`` also for retrievers without a generation knob (naive, trees,
+        …).  Assigning validates the name and keeps the engine's recorded
+        constructor kwargs in sync, so a subsequent :meth:`save` persists the
+        live setting (and, for an active dtype, the tier arrays).  Results
+        are byte-identical for every value — generation may only
+        over-produce, never drop (see :class:`~repro.core.lemp.Lemp`).
+        """
+        return getattr(self.retriever, "gen_dtype", None)
+
+    @gen_dtype.setter
+    def gen_dtype(self, value: str | None) -> None:
+        from repro.core.screening import validate_gen_dtype
+
+        if not hasattr(self.retriever, "gen_dtype"):
+            raise UnsupportedOperationError(
+                f"{type(self.retriever).__name__} has no compressed generation tier"
+            )
+        name = validate_gen_dtype(value)
+        self.retriever.gen_dtype = name
+        self._construct_kwargs["gen_dtype"] = name
+
+    @property
     def tuning_cache(self):
         """The retriever's :class:`~repro.core.tuning_cache.TuningCache`, or ``None``.
 

@@ -80,10 +80,19 @@ from repro.exceptions import NotPreparedError, PersistenceError
 #:    readers without the calibration layer ignore both keys, and
 #:    ``CostModel.from_dict`` loads leniently (malformed or newer-version
 #:    entries are dropped, never fatal).
-FORMAT_VERSION = 4
+#: 5. additive compressed-generation members: an engine saved with an active
+#:    ``gen_dtype`` *distinct from* ``screen_dtype`` writes that tier as
+#:    ``state.gen_data`` (plus ``state.gen_scale`` / ``state.gen_offset``
+#:    for int8); when the two dtypes match, the one shared tier travels once
+#:    under the format-4 ``state.screen_*`` members.  The knob itself rides
+#:    in ``meta["kwargs"]`` (``gen_dtype``) like every constructor argument.
+#:    Same bump rationale as format 4: older readers would choke only on the
+#:    unknown ``state.`` members; format-1..4 indexes keep loading here —
+#:    without tier arrays the generation tier is rebuilt lazily on first use.
+FORMAT_VERSION = 5
 
 #: Format versions :func:`load_engine` accepts.
-SUPPORTED_FORMATS = (1, 2, 3, 4)
+SUPPORTED_FORMATS = (1, 2, 3, 4, 5)
 
 #: ``meta["blsh_base"]`` marker for the order-independent base semantics.
 BLSH_BASE_SEMANTICS = "per-query-theta-b"

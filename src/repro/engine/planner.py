@@ -291,6 +291,13 @@ class ExecutionPlan:
     #: many candidates reach the exact kernel, never the plan's shape or the
     #: results (see :mod:`repro.core.screening`).
     screen_dtype: str | None = None
+    #: Compressed candidate-generation tier the retriever's index scans run
+    #: over (``"f32"`` / ``"f16"`` / ``"int8"``), or ``None`` when generation
+    #: reads the exact f64 directions.  Informational: compressed generation
+    #: widens every pruning bound so it can only over-produce candidates —
+    #: results and the plan's shape are unaffected (see
+    #: :class:`~repro.core.lemp.Lemp`).
+    gen_dtype: str | None = None
     #: One-line description of the learned cost estimates this plan was
     #: built with (the :class:`~repro.engine.calibration.Calibration`'s
     #: :meth:`~repro.engine.calibration.Calibration.describe` output), or
@@ -329,6 +336,11 @@ class ExecutionPlan:
             lines.append(
                 f"  screening     : {self.screen_dtype} quantized tier "
                 "(widened-bound pre-filter, exact f64 verification)"
+            )
+        if self.gen_dtype is not None:
+            lines.append(
+                f"  generation    : {self.gen_dtype} compressed index scans "
+                "(bound-widened feasible regions, exact f64 verification)"
             )
         if self.probe_shard_ranges:
             rendered = ", ".join(f"[{start}, {end})" for start, end in self.probe_shard_ranges)
@@ -468,6 +480,7 @@ class ExecutionPlanner:
                 ),
                 backend=plan_backend,
                 screen_dtype=getattr(retriever, "screen_dtype", None),
+                gen_dtype=getattr(retriever, "gen_dtype", None),
                 calibration=calibration,
             )
 

@@ -11,7 +11,11 @@ module re-runs the measurement and fails when
   tier's survivors — a blow-up there means the bound derivation got weaker;
 * the within-run counter split (``survivors + dropped == unscreened inner
   products``) breaks, which would mean the screen is seeing different
-  candidates than the exact path.
+  candidates than the exact path;
+* compressed generation (``gen_dtype``) loses recall — widened feasible
+  regions may only over-produce, never drop — or int8's widened candidate
+  set inflates past 1.5x the exact scan's (the widening got too loose to be
+  worth the bandwidth it saves).
 
 Survivor *rates* are compared to the committed numbers only loosely: the LI
 workload is tuned by wall-clock sampling, so candidate populations can shift
@@ -37,6 +41,10 @@ SURVIVOR_RATE_HEADROOM = 3.0
 #: The issue-level gate: int8 may not admit more than this multiple of the
 #: f32 survivor count in the same warm run.
 INT8_OVER_F32_LIMIT = 1.25
+
+#: Cap on the int8 generation tier's widened candidate count over the exact
+#: scan's — the loosest bound must still generate essentially the same set.
+INT8_GEN_INFLATION_LIMIT = 1.5
 
 
 def _load_measure_tool():
@@ -90,6 +98,33 @@ def test_survivor_rates_do_not_blow_up(baseline, report):
         )
         # Screening must actually prune on this workload, not just pass through.
         assert tier["survivor_rate"] < 0.5
+
+
+def test_generation_has_perfect_recall(report):
+    for dtype_name, tier in report["generation"].items():
+        assert tier["recall"] == 1.0, (
+            f"{dtype_name} compressed generation dropped true results: "
+            f"recall {tier['recall']}"
+        )
+
+
+def test_generation_candidate_inflation_bounded(report):
+    for dtype_name, tier in report["generation"].items():
+        # Widening may only over-produce — never generate fewer candidates.
+        assert tier["candidates"] >= report["exact_candidates"], dtype_name
+        assert tier["candidate_inflation"] >= 1.0, dtype_name
+    assert report["generation"]["int8"]["candidate_inflation"] <= INT8_GEN_INFLATION_LIMIT, (
+        "int8 generation widened the candidate set past "
+        f"{INT8_GEN_INFLATION_LIMIT}x the exact scan"
+    )
+
+
+def test_generation_inflation_pinned_loosely(baseline, report):
+    # Absolute candidate counts drift with machine-dependent tuning; the
+    # inflation *ratio* within one warm engine is stable — pin it loosely.
+    for dtype_name, tier in report["generation"].items():
+        pinned = baseline["generation"][dtype_name]["candidate_inflation"]
+        assert tier["candidate_inflation"] <= max(pinned * 1.1, 1.01), dtype_name
 
 
 def test_compressed_tiers_scan_fewer_bytes(report):

@@ -1,19 +1,23 @@
 """Measure LEMP-BLSH recall on the synthetic regression dataset.
 
-Writes ``tests/data/blsh_recall_baseline.json``.  The committed baseline was
+Targets ``tests/data/blsh_recall_baseline.json``.  The committed baseline was
 produced by the *pre-order-free* ratcheting implementation; the regression
 test in ``tests/test_probe_sharding.py`` pins the current order-independent
-base to that reference within ``BLSH_RECALL_TOLERANCE``.  Re-running this
-script OVERWRITES the pinned reference with measurements of the current
-code — only do that deliberately, when re-baselining.
+base to that reference within ``BLSH_RECALL_TOLERANCE``.  The pinned file is
+only written with the explicit ``--commit`` flag; without it the script
+diffs its measurement against the committed copy and leaves it untouched, so
+an accidental run can no longer silently re-baseline the pin.
 
 Run with::
 
-    PYTHONPATH=src python tools/measure_blsh_recall.py
+    PYTHONPATH=src python tools/measure_blsh_recall.py            # diff only
+    PYTHONPATH=src python tools/measure_blsh_recall.py --commit   # re-baseline
 """
 
 from __future__ import annotations
 
+import argparse
+import difflib
 import json
 from pathlib import Path
 
@@ -72,14 +76,46 @@ def blsh_recall(config: dict = CONFIG) -> dict:
     }
 
 
-def main() -> None:
-    """Measure recall and write the JSON baseline next to the test data."""
+def write_or_diff(report: dict, path: Path, commit: bool) -> int:
+    """Commit ``report`` to ``path``, or diff against the committed copy.
+
+    Same guard as ``tools/measure_screening.py``: the committed baseline is
+    only overwritten on an explicit ``--commit``.
+    """
+    rendered = json.dumps(report, indent=2) + "\n"
+    if commit:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered)
+        print(rendered, end="")
+        print(f"re-baselined {path}")
+        return 0
+    if not path.exists():
+        print(rendered, end="")
+        print(f"no committed baseline at {path}; rerun with --commit to create it")
+        return 1
+    committed = path.read_text()
+    if committed == rendered:
+        print(f"measurement matches the committed baseline {path}")
+        return 0
+    diff = difflib.unified_diff(
+        committed.splitlines(keepends=True), rendered.splitlines(keepends=True),
+        fromfile=f"committed {path.name}", tofile="measured (not written)",
+    )
+    print("".join(diff), end="")
+    print(f"committed baseline left untouched; rerun with --commit to re-baseline {path}")
+    return 1
+
+
+def main(argv=None) -> int:
+    """Measure recall; diff or (with ``--commit``) re-baseline the JSON pin."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--commit", action="store_true",
+                        help="overwrite the committed baseline (default: diff only)")
+    args = parser.parse_args(argv)
     report = blsh_recall()
     path = Path(__file__).resolve().parents[1] / "tests" / "data" / "blsh_recall_baseline.json"
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
+    return write_or_diff(report, path, args.commit)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,9 +1,9 @@
-"""Measure screening-tier selectivity and recall on the regression dataset.
+"""Measure screening-tier and generation-tier behaviour on the regression dataset.
 
-Extends ``tools/measure_blsh_recall.py`` to the quantized screening tier:
-for every screen dtype the script runs the same Above-θ / Row-Top-k workload
-on a *warm* engine twice — unscreened, then with ``screen_dtype`` toggled —
-and records
+Extends ``tools/measure_blsh_recall.py`` to the quantized tiers: for every
+screen dtype the script runs the same Above-θ / Row-Top-k workload on a
+*warm* engine twice — unscreened, then with ``screen_dtype`` toggled — and
+records
 
 * ``recall`` — fraction of the unscreened run's result pairs the screened
   run returns (the contract demands exactly 1.0: screening must be lossless);
@@ -13,20 +13,29 @@ and records
   (compressed reads for every screened candidate + f64 reads for survivors)
   over the unscreened run's f64 reads — the bandwidth the tier saves.
 
-Writes ``tests/data/screening_baseline.json``.  The regression test in
-``tests/test_screening_baseline.py`` pins the current code against the
-committed numbers: recall must stay exactly 1.0 for every dtype, and int8 —
-the loosest bound — must not admit more than 1.25x the f32 survivor count.
-Re-running this script OVERWRITES the pinned reference with measurements of
-the current code — only do that deliberately, when re-baselining.
+A second section does the same for the compressed *generation* tier
+(``gen_dtype``): per dtype it records recall (again exactly 1.0 — widened
+feasible regions may only over-produce) and ``candidate_inflation``, the
+widened candidate count over the exact-scan candidate count on the same warm
+engine (the cost of the widening; the regression test caps int8 at 1.5x).
+
+The measurements go to ``tests/data/screening_baseline.json`` — but only
+with the explicit ``--commit`` flag.  Without it the script *diffs* its
+report against the committed baseline and leaves the file untouched, so an
+accidental run can no longer silently re-baseline the regression pin.  The
+test in ``tests/test_screening_baseline.py`` compares the committed numbers
+against a fresh measurement.
 
 Run with::
 
-    PYTHONPATH=src python tools/measure_screening.py
+    PYTHONPATH=src python tools/measure_screening.py            # diff only
+    PYTHONPATH=src python tools/measure_screening.py --commit   # re-baseline
 """
 
 from __future__ import annotations
 
+import argparse
+import difflib
 import json
 from pathlib import Path
 
@@ -87,6 +96,7 @@ def screening_report(config: dict = CONFIG) -> dict:
     _run_workload(retriever, queries, theta, config["k"])
     base_above, base_top = _run_workload(retriever, queries, theta, config["k"])
     base_inner = retriever.stats.inner_products
+    base_candidates = retriever.stats.candidates
     base_bytes = base_inner * rank * 8
 
     tiers = {}
@@ -115,22 +125,74 @@ def screening_report(config: dict = CONFIG) -> dict:
         }
     retriever.screen_dtype = None
 
+    # Compressed generation: same warm engine (shared tuning), screening off,
+    # per-dtype widened index scans vs the exact-scan candidate population.
+    generation = {}
+    for dtype_name in SCREEN_DTYPES:
+        retriever.gen_dtype = dtype_name
+        above, top = _run_workload(retriever, queries, theta, config["k"])
+        stats = retriever.stats
+        recall = (
+            len(above & base_above) + len(top & base_top)
+        ) / max(len(base_above) + len(base_top), 1)
+        generation[dtype_name] = {
+            "recall": round(recall, 6),
+            "candidates": int(stats.candidates),
+            "candidate_inflation": round(stats.candidates / max(base_candidates, 1), 6),
+        }
+    retriever.gen_dtype = None
+
     return {
         "config": config,
         "theta": theta,
         "unscreened_inner_products": int(base_inner),
+        "exact_candidates": int(base_candidates),
         "tiers": tiers,
+        "generation": generation,
     }
 
 
-def main() -> None:
-    """Measure screening selectivity and write the JSON baseline."""
+def write_or_diff(report: dict, path: Path, commit: bool) -> int:
+    """Commit ``report`` to ``path``, or diff against the committed copy.
+
+    Guards the regression pins: without ``--commit`` the committed baseline
+    is never touched — the report is unified-diffed against it and a
+    non-zero status signals a mismatch.
+    """
+    rendered = json.dumps(report, indent=2) + "\n"
+    if commit:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered)
+        print(rendered, end="")
+        print(f"re-baselined {path}")
+        return 0
+    if not path.exists():
+        print(rendered, end="")
+        print(f"no committed baseline at {path}; rerun with --commit to create it")
+        return 1
+    committed = path.read_text()
+    if committed == rendered:
+        print(f"measurement matches the committed baseline {path}")
+        return 0
+    diff = difflib.unified_diff(
+        committed.splitlines(keepends=True), rendered.splitlines(keepends=True),
+        fromfile=f"committed {path.name}", tofile="measured (not written)",
+    )
+    print("".join(diff), end="")
+    print(f"committed baseline left untouched; rerun with --commit to re-baseline {path}")
+    return 1
+
+
+def main(argv=None) -> int:
+    """Measure screening selectivity; diff or (with ``--commit``) re-baseline."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--commit", action="store_true",
+                        help="overwrite the committed baseline (default: diff only)")
+    args = parser.parse_args(argv)
     report = screening_report()
     path = Path(__file__).resolve().parents[1] / "tests" / "data" / "screening_baseline.json"
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
+    return write_or_diff(report, path, args.commit)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())
